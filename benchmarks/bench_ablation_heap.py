@@ -1,0 +1,47 @@
+"""A-heap — ablation: priority-queue implementation (paper §5 uses a
+binary heap).
+
+Compares the addressable binary heap, an addressable 4-ary heap and the
+lazy ``heapq`` wrapper on identical one-to-all SPCS workloads.  Settled
+counts are identical by construction (same algorithm); only constants
+differ — in CPython the C-implemented ``heapq`` usually wins, which the
+report makes visible.
+"""
+
+from __future__ import annotations
+
+from statistics import fmean
+
+import pytest
+
+from repro.analysis.formatting import format_table
+from repro.core.spcs import spcs_profile_search
+from repro.synthetic.workloads import random_sources
+
+NUM_QUERIES = 3
+INSTANCE = "washington"
+QUEUES = ("binary", "4-ary", "lazy")
+
+_rows: dict[str, dict] = {}
+
+
+@pytest.mark.parametrize("queue", QUEUES)
+def test_heap_variant(benchmark, graphs, report, queue):
+    graph = graphs.graph(INSTANCE)
+    sources = random_sources(graph.timetable, NUM_QUERIES, seed=6)
+
+    def run():
+        return [spcs_profile_search(graph, s, queue=queue) for s in sources]
+
+    results = benchmark.pedantic(run, rounds=2, iterations=1)
+    _rows[queue] = {
+        "settled": fmean(r.stats.settled_connections for r in results),
+        "mean_s": benchmark.stats["mean"],
+    }
+    if len(_rows) == len(QUEUES):
+        rows = [
+            [q, f"{_rows[q]['settled']:,.0f}", f"{_rows[q]['mean_s'] * 1000:.1f}"]
+            for q in QUEUES
+        ]
+        table = format_table(["queue", "settled conns", "time [ms]"], rows)
+        report.add("ablation_heap", f"[{INSTANCE}]\n{table}\n")

@@ -1,0 +1,50 @@
+"""A-stop — ablation: stopping criterion (paper §5.2, "the stopping
+criterion accelerates queries by approximately 20 %").
+
+Station-to-station queries without any distance table, stopping
+criterion on vs off.
+"""
+
+from __future__ import annotations
+
+from statistics import fmean
+
+import pytest
+
+from repro.analysis.formatting import format_table
+from repro.query.table_query import StationToStationEngine
+from repro.synthetic.workloads import random_station_pairs
+
+NUM_QUERIES = 5
+NUM_CORES = 8
+INSTANCES = ("oahu", "losangeles")
+
+_rows: list[list] = []
+
+
+@pytest.mark.parametrize("instance", INSTANCES)
+@pytest.mark.parametrize("stopping", (True, False), ids=["stop", "nostop"])
+def test_stopping_criterion(benchmark, graphs, report, instance, stopping):
+    graph = graphs.graph(instance)
+    pairs = random_station_pairs(graph.timetable, NUM_QUERIES, seed=7)
+    engine = StationToStationEngine(
+        graph, None, num_threads=NUM_CORES, stopping=stopping
+    )
+
+    def run():
+        return [engine.query(s, t) for s, t in pairs]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    _rows.append(
+        [
+            instance,
+            "on" if stopping else "off",
+            f"{fmean(r.settled_connections for r in results):,.0f}",
+            f"{fmean(r.simulated_time for r in results) * 1000:.1f}",
+        ]
+    )
+    if len(_rows) == len(INSTANCES) * 2:
+        table = format_table(
+            ["instance", "stopping", "settled conns", "time [ms]"], _rows
+        )
+        report.add("ablation_stopping", table + "\n")

@@ -1,0 +1,99 @@
+"""Table 1 — one-to-all profile queries (paper §5.1).
+
+CS (parallel self-pruning connection-setting) on 1, 2, 4 and 8
+simulated cores vs the label-correcting baseline (LC), on all five
+instances.  Reported per cell: mean settled connections (summed over
+cores), mean simulated time, and speed-up over the 1-core run — the
+same columns as the paper's Table 1.
+
+Expected shape (paper): CS settles ~6–15× fewer connections than LC and
+wins wall-clock by a smaller factor; settled counts grow mildly with p
+(cross-thread self-pruning is lost), worst on the sparse rail instance.
+"""
+
+from __future__ import annotations
+
+import time
+from statistics import fmean
+
+import pytest
+
+from repro.analysis.formatting import format_table
+from repro.baselines.label_correcting import label_correcting_profile
+from repro.core.parallel import parallel_profile_search
+from repro.synthetic.workloads import random_sources
+
+from benchmarks.conftest import ALL_INSTANCES, CORE_COUNTS
+
+NUM_QUERIES = 3
+
+_cells: dict[tuple[str, object], dict] = {}
+
+
+def _sources(graph):
+    return random_sources(graph.timetable, NUM_QUERIES, seed=1)
+
+
+@pytest.mark.parametrize("instance", ALL_INSTANCES)
+@pytest.mark.parametrize("cores", CORE_COUNTS)
+def test_cs_one_to_all(benchmark, graphs, report, instance, cores):
+    graph = graphs.graph(instance)
+    sources = _sources(graph)
+
+    def run():
+        return [
+            parallel_profile_search(graph, s, cores) for s in sources
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    settled = fmean(r.stats.settled_connections for r in results)
+    simulated = fmean(r.stats.simulated_time for r in results)
+    _cells[(instance, cores)] = {"settled": settled, "time": simulated}
+    _maybe_emit(report, instance)
+
+
+@pytest.mark.parametrize("instance", ALL_INSTANCES)
+def test_lc_one_to_all(benchmark, graphs, report, instance):
+    graph = graphs.graph(instance)
+    sources = _sources(graph)
+
+    def run():
+        out = []
+        for s in sources:
+            t0 = time.perf_counter()
+            lc = label_correcting_profile(graph, s, vectorized=False)
+            out.append((lc.settled_connections, time.perf_counter() - t0))
+        return out
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    _cells[(instance, "LC")] = {
+        "settled": fmean(s for s, _ in stats),
+        "time": fmean(t for _, t in stats),
+    }
+    _maybe_emit(report, instance)
+
+
+def _maybe_emit(report, instance):
+    """Emit the instance's Table 1 block once all its cells are in."""
+    keys = [(instance, p) for p in CORE_COUNTS] + [(instance, "LC")]
+    if not all(k in _cells for k in keys):
+        return
+    base_time = _cells[(instance, 1)]["time"]
+    rows = []
+    for p in CORE_COUNTS:
+        cell = _cells[(instance, p)]
+        rows.append(
+            [
+                "CS",
+                p,
+                f"{cell['settled']:,.0f}",
+                f"{cell['time'] * 1000:.1f}",
+                f"{base_time / cell['time']:.1f}" if cell["time"] else "inf",
+            ]
+        )
+    lc = _cells[(instance, "LC")]
+    rows.append(["LC", 1, f"{lc['settled']:,.0f}", f"{lc['time'] * 1000:.1f}", "—"])
+    table = format_table(
+        ["algo", "p", "settled conns", "time [ms]", "spd-up"], rows
+    )
+    report.add("table1_one_to_all", f"[{instance}]\n{table}\n")

@@ -1,0 +1,117 @@
+"""Table 2 — station-to-station queries with distance-table pruning
+(paper §5.2).
+
+For each instance: the stopping-criterion-only baseline (0.0 %), a sweep
+of contraction-selected transfer-station fractions, and the ``deg > 2``
+rule.  Reported per row: number of transfer stations, preprocessing
+time, table size, mean settled connections, mean simulated query time,
+and the speed-up over the 0.0 % row — the paper's Table 2 columns.
+
+Expected shape (paper): the stopping criterion alone ≈ 20 % faster than
+plain one-to-all; tables pay off up to ≈ 5 % transfer stations, then
+flatten while preprocessing cost keeps growing.
+
+Fractions adapt to instance size: a fraction selecting no station is
+skipped (the paper's 1 % rows on our scaled-down networks).
+"""
+
+from __future__ import annotations
+
+from statistics import fmean
+
+import pytest
+
+from repro.analysis.formatting import format_table
+from repro.query.distance_table import build_distance_table
+from repro.query.table_query import StationToStationEngine
+from repro.query.transfer_selection import select_transfer_stations
+from repro.synthetic.workloads import random_station_pairs
+
+from benchmarks.conftest import ALL_INSTANCES
+
+NUM_QUERIES = 5
+NUM_CORES = 8
+FRACTIONS = (0.0, 0.01, 0.025, 0.05, 0.10, 0.20, 0.30)
+
+_rows: dict[str, list] = {}
+_SELECTIONS = [f"{f * 100:.1f}%" for f in FRACTIONS] + ["deg > 2"]
+
+
+def _run_row(graph, selection, pairs):
+    timetable = graph.timetable
+    if selection == "deg > 2":
+        stations = select_transfer_stations(
+            timetable, method="degree", min_degree=2
+        )
+    else:
+        fraction = float(selection.rstrip("%")) / 100.0
+        stations = select_transfer_stations(
+            timetable, method="contraction", fraction=fraction
+        )
+
+    if selection != "0.0%" and stations.size == 0:
+        return None  # fraction too small for this scaled-down instance
+
+    table = None
+    prepro, mib = 0.0, 0.0
+    if selection != "0.0%":
+        table = build_distance_table(graph, stations, num_threads=NUM_CORES)
+        prepro, mib = table.build_seconds, table.size_mib()
+
+    engine = StationToStationEngine(graph, table, num_threads=NUM_CORES)
+    settled, times = [], []
+    for s, t in pairs:
+        result = engine.query(s, t)
+        settled.append(result.settled_connections)
+        times.append(result.simulated_time)
+    return {
+        "selection": selection,
+        "num_transfer": 0 if table is None else int(stations.size),
+        "prepro": prepro,
+        "mib": mib,
+        "settled": fmean(settled),
+        "time": fmean(times),
+    }
+
+
+@pytest.mark.parametrize("instance", ALL_INSTANCES)
+@pytest.mark.parametrize("selection", _SELECTIONS)
+def test_station_to_station(benchmark, graphs, report, instance, selection):
+    graph = graphs.graph(instance)
+    pairs = random_station_pairs(graph.timetable, NUM_QUERIES, seed=2)
+    row = benchmark.pedantic(
+        _run_row, args=(graph, selection, pairs), rounds=1, iterations=1
+    )
+    _rows.setdefault(instance, []).append(row)
+    if len(_rows[instance]) == len(_SELECTIONS):
+        _emit(report, instance)
+
+
+def _emit(report, instance):
+    rows = [r for r in _rows[instance] if r is not None]
+    base_time = next(r["time"] for r in rows if r["selection"] == "0.0%")
+    formatted = [
+        [
+            r["selection"],
+            r["num_transfer"],
+            f"{r['prepro']:.1f}",
+            f"{r['mib']:.2f}",
+            f"{r['settled']:,.0f}",
+            f"{r['time'] * 1000:.1f}",
+            f"{base_time / r['time']:.1f}" if r["time"] else "inf",
+        ]
+        for r in rows
+    ]
+    table = format_table(
+        [
+            "selection",
+            "|S_trans|",
+            "prepro [s]",
+            "space [MiB]",
+            "settled conns",
+            "time [ms]",
+            "spd-up",
+        ],
+        formatted,
+    )
+    report.add("table2_distance_tables", f"[{instance}]\n{table}\n")

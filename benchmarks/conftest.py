@@ -1,0 +1,84 @@
+"""Shared benchmark infrastructure.
+
+Scale control: set ``REPRO_BENCH_SCALE`` to ``tiny`` (fast sanity run),
+``small`` (default; reproduces the paper's table *shapes* in minutes) or
+``medium`` (closer to paper ratios; manual runs).
+
+Every bench records its paper-style rows through the session-scoped
+``report`` fixture; at session end the assembled tables are printed and
+written to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can
+reference them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.graph.td_model import build_td_graph
+from repro.synthetic.instances import make_instance
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Instances × core counts benched for Table 1 and the figures.
+ALL_INSTANCES = ("oahu", "losangeles", "washington", "germany", "europe")
+CORE_COUNTS = (1, 2, 4, 8)
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if scale not in ("tiny", "small", "medium"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be tiny/small/medium, got {scale!r}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+class GraphCache:
+    """Build each instance's graph once per session."""
+
+    def __init__(self, scale: str) -> None:
+        self._scale = scale
+        self._graphs = {}
+
+    def graph(self, instance: str):
+        if instance not in self._graphs:
+            timetable = make_instance(instance, self._scale)
+            self._graphs[instance] = build_td_graph(timetable)
+        return self._graphs[instance]
+
+
+@pytest.fixture(scope="session")
+def graphs(scale) -> GraphCache:
+    return GraphCache(scale)
+
+
+class Report:
+    """Collects named result tables and flushes them at session end."""
+
+    def __init__(self) -> None:
+        self._sections: dict[str, list[str]] = {}
+
+    def add(self, section: str, text: str) -> None:
+        self._sections.setdefault(section, []).append(text)
+
+    def flush(self) -> None:
+        if not self._sections:
+            return
+        RESULTS_DIR.mkdir(exist_ok=True)
+        for section, chunks in sorted(self._sections.items()):
+            body = "\n".join(chunks)
+            print(f"\n===== {section} =====\n{body}")
+            (RESULTS_DIR / f"{section}.txt").write_text(body + "\n")
+
+
+@pytest.fixture(scope="session")
+def report():
+    collector = Report()
+    yield collector
+    collector.flush()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""A realistic end-user scenario: commute planning over a GTFS feed.
+
+Generates a city network, exports it as a GTFS-like feed (the format
+real agencies publish), loads it back — the round trip a downstream
+user of this library would perform — and answers the questions a
+commuter actually asks:
+
+* "When do I need to leave to be at work by 9?"
+* "How does my travel time vary over the day?"
+* "What is the last connection home?"
+
+Run:  python examples/city_commute.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    build_td_graph,
+    load_gtfs,
+    make_instance,
+    parallel_profile_search,
+    save_gtfs,
+)
+from repro.functions.piecewise import INF_TIME
+from repro.timetable.periodic import format_time
+
+
+def main() -> None:
+    # --- publish + ingest a GTFS-like feed ----------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        feed = Path(tmp) / "city-feed"
+        save_gtfs(make_instance("oahu", scale="tiny", seed=2), feed)
+        print(f"wrote GTFS-like feed to {feed}")
+        timetable = load_gtfs(feed)
+    print(f"loaded: {timetable.summary()}\n")
+
+    graph = build_td_graph(timetable)
+    home, work = 2, timetable.num_stations - 3
+
+    # One profile query answers everything below.
+    result = parallel_profile_search(graph, home, num_threads=4)
+    to_work = result.profile(work)
+    if to_work.is_empty():
+        raise SystemExit("no connection between the chosen stations")
+
+    # --- latest departure arriving by 09:00 ---------------------------
+    deadline = 9 * 60
+    candidates = [
+        (dep, dep + dur)
+        for dep, dur in to_work.connection_points()
+        if dep + dur <= deadline
+    ]
+    print(f"to be at station {work} by {format_time(deadline)}:")
+    if candidates:
+        dep, arr = max(candidates)
+        print(f"  leave station {home} at {format_time(dep)}, arrive {format_time(arr)}")
+    else:
+        print("  impossible — no connection arrives before the deadline")
+
+    # --- travel time over the day --------------------------------------
+    print("\ntravel time by departure hour (waiting + riding):")
+    for hour in range(5, 24, 2):
+        tau = hour * 60
+        travel = to_work.travel_time(tau)
+        bar = "#" * (travel // 5) if travel < INF_TIME else ""
+        label = f"{travel:4d} min" if travel < INF_TIME else "  n/a"
+        print(f"  {format_time(tau)}  {label}  {bar}")
+
+    # --- last connection home ------------------------------------------
+    back = parallel_profile_search(graph, work, num_threads=4).profile(home)
+    if not back.is_empty():
+        dep, dur = back.connection_points()[-1]
+        print(
+            f"\nlast connection home departs {format_time(dep)} and arrives "
+            f"{format_time(dep + dur)}"
+        )
+
+
+if __name__ == "__main__":
+    main()

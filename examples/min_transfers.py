@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Multi-criteria profile search: arrival time vs number of transfers.
+
+Implements the paper's §6 future-work challenge ("incorporate
+multi-criteria connections, e.g., minimizing the number of transfers
+... keep up the connection-setting property and find efficient
+criteria for self-pruning") and shows the resulting Pareto fronts on a
+rail network, where transfer-count trade-offs actually occur.
+
+Run:  python examples/min_transfers.py
+"""
+
+from repro import build_td_graph, make_instance
+from repro.core import mc_profile_search
+from repro.functions.piecewise import INF_TIME
+from repro.timetable.periodic import format_time
+
+
+def main() -> None:
+    timetable = make_instance("germany", scale="small", seed=0)
+    graph = build_td_graph(timetable)
+    print(timetable.summary())
+
+    departure = 8 * 60
+
+    # Scan a few sources for fronts that actually show trade-offs (on
+    # sparse rail networks many relations are dominated by one line).
+    best_source, best_fronts, result = 0, [], None
+    for source in range(min(timetable.num_stations, 16)):
+        candidate = mc_profile_search(graph, source, max_transfers=4)
+        fronts = []
+        for station in range(timetable.num_stations):
+            if station == source:
+                continue
+            for tau in (7 * 60, 8 * 60, 17 * 60):
+                front = candidate.pareto_front(station, tau)
+                if len(front) >= 2:
+                    fronts.append((station, tau, front))
+                    break
+        if result is None or len(fronts) > len(best_fronts):
+            best_source, best_fronts, result = source, fronts, candidate
+        if len(best_fronts) >= 3:
+            break
+    source = best_source
+
+    stats = result.stats
+    print(
+        f"\nmulti-criteria profile search from station {source}: "
+        f"{stats.settled} settled (node, connection, transfers) triples, "
+        f"{stats.pruned} dominance-pruned\n"
+    )
+
+    print("Pareto fronts with genuine speed-vs-convenience trade-offs:")
+    for station, tau, front in best_fronts[:5]:
+        name = timetable.stations[station].name
+        print(f"\n  to {name} (station {station}), departing {format_time(tau)}:")
+        for transfers, arrival in front:
+            label = "transfer" if transfers == 1 else "transfers"
+            print(
+                f"    {transfers} {label:9s} -> arrive {format_time(arrival)}"
+            )
+    if not best_fronts:
+        print("  (no trade-offs found — the network is transfer-free)")
+
+    # Compare the fastest-overall vs fewest-transfer connection.
+    print("\ntransfer-bounded day profiles toward one satellite station:")
+    target = next(
+        s.id for s in timetable.stations if "sat-" in s.name and s.id != source
+    )
+    for budget in (0, 1, 4):
+        points = result.profile_points(target, budget)
+        reachable = [p for p in points if p[1] < INF_TIME]
+        print(
+            f"  ≤{budget} transfers: {len(reachable):3d} optimal "
+            f"connections over the day"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""repro — reproduction of *Parallel Computation of Best Connections in
+Public Transportation Networks* (Delling, Katz, Pajor; IPDPS 2010).
+
+Public API tour
+---------------
+
+Build or load a timetable::
+
+    from repro import TimetableBuilder, make_instance
+    timetable = make_instance("oahu", scale="tiny")
+
+Build the realistic time-dependent graph and run profile searches::
+
+    from repro import build_td_graph, parallel_profile_search
+    graph = build_td_graph(timetable)
+    result = parallel_profile_search(graph, source=0, num_threads=4)
+    profile = result.profile(station=5)     # dist(S, T, ·), reduced
+    profile.earliest_arrival(8 * 60)        # depart 08:00
+
+Accelerated station-to-station queries::
+
+    from repro import (
+        select_transfer_stations, build_distance_table, StationToStationEngine,
+    )
+    stations = select_transfer_stations(timetable, fraction=0.05)
+    table = build_distance_table(graph, stations)
+    engine = StationToStationEngine(graph, table)
+    answer = engine.query(source=0, target=5)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduction results.
+"""
+
+from repro.timetable import (
+    Connection,
+    Delay,
+    Route,
+    Station,
+    Timetable,
+    TimetableBuilder,
+    TimetableError,
+    Train,
+    apply_delays,
+    validate_timetable,
+)
+from repro.timetable.gtfs import load_gtfs, save_gtfs
+from repro.timetable.io import load_timetable, save_timetable
+from repro.functions import INF_TIME, Profile, TravelTimeFunction
+from repro.graph import TDGraph, build_station_graph, build_td_graph
+from repro.baselines import label_correcting_profile, mc_time_query, time_query
+from repro.core import (
+    mc_profile_search,
+    parallel_profile_search,
+    spcs_profile_search,
+)
+from repro.query import (
+    DistanceTable,
+    StationToStationEngine,
+    build_distance_table,
+    compute_via_stations,
+    select_transfer_stations,
+)
+from repro.synthetic import make_instance
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Connection",
+    "Delay",
+    "apply_delays",
+    "Route",
+    "Station",
+    "Timetable",
+    "TimetableBuilder",
+    "TimetableError",
+    "Train",
+    "validate_timetable",
+    "load_gtfs",
+    "save_gtfs",
+    "load_timetable",
+    "save_timetable",
+    "INF_TIME",
+    "Profile",
+    "TravelTimeFunction",
+    "TDGraph",
+    "build_station_graph",
+    "build_td_graph",
+    "label_correcting_profile",
+    "mc_time_query",
+    "time_query",
+    "mc_profile_search",
+    "parallel_profile_search",
+    "spcs_profile_search",
+    "DistanceTable",
+    "StationToStationEngine",
+    "build_distance_table",
+    "compute_via_stations",
+    "select_transfer_stations",
+    "make_instance",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Experiment harness: runners regenerating every table/figure of the
+paper's evaluation (§5) plus formatting helpers.
+
+The runners return plain dataclasses so benchmarks, the CLI and the
+EXPERIMENTS.md generator share one implementation.
+"""
+
+from repro.analysis.runners import (
+    OneToAllCell,
+    Table1Result,
+    Table2Row,
+    run_scalability_series,
+    run_table1,
+    run_table2,
+)
+from repro.analysis.formatting import format_table, render_table1, render_table2
+
+__all__ = [
+    "OneToAllCell",
+    "Table1Result",
+    "Table2Row",
+    "run_table1",
+    "run_table2",
+    "run_scalability_series",
+    "format_table",
+    "render_table1",
+    "render_table2",
+]

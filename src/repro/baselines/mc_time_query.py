@@ -1,0 +1,96 @@
+"""Transfer-bounded time-query: ground truth for the multi-criteria
+extension (paper §6, future work).
+
+A time-dependent Dijkstra on the *layered* graph ``(node, transfers
+used)``: boarding edges move one layer up, all other edges stay in
+layer.  ``arrival[u][k]`` is the earliest arrival at ``u`` using at most
+``k`` transfers.  Exponential in nothing, just ``K+1`` layers — used by
+tests to validate the multi-criteria SPCS Pareto fronts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.functions.piecewise import INF_TIME
+from repro.graph.td_model import TDGraph
+from repro.pq import LazyHeap
+
+
+@dataclass(slots=True)
+class McTimeQueryResult:
+    """Earliest arrivals per (node, transfer budget)."""
+
+    source: int
+    departure: int
+    max_transfers: int
+    #: arrival[u][k] — earliest arrival at u with ≤ k transfers.
+    arrival: list[list[int]]
+
+    def arrival_at_station(self, station: int, max_transfers: int) -> int:
+        k = min(max_transfers, self.max_transfers)
+        return self.arrival[station][k]
+
+    def pareto_front(self, station: int) -> list[tuple[int, int]]:
+        """Non-dominated (transfers, arrival) pairs at a station."""
+        front: list[tuple[int, int]] = []
+        best = INF_TIME
+        for k in range(self.max_transfers + 1):
+            arrival = self.arrival[station][k]
+            if arrival < best:
+                front.append((k, arrival))
+                best = arrival
+        return front
+
+
+def mc_time_query(
+    graph: TDGraph,
+    source: int,
+    departure: int,
+    *,
+    max_transfers: int = 5,
+) -> McTimeQueryResult:
+    """Run the layered transfer-bounded time-query."""
+    if not graph.is_station_node(source):
+        raise ValueError(f"source must be a station node, got {source}")
+    if max_transfers < 0:
+        raise ValueError(f"max_transfers must be ≥ 0, got {max_transfers}")
+
+    layers = max_transfers + 1
+    num_nodes = graph.num_nodes
+    arrival = [[INF_TIME] * layers for _ in range(num_nodes)]
+    adjacency = graph.adjacency
+    pq = LazyHeap()
+
+    arrival[source] = [departure] * layers
+    # Initial boarding is free of both transfer time and transfer count.
+    for edge in adjacency[source]:
+        for k in range(layers):
+            arrival[edge.target][k] = departure
+        pq.push((edge.target, 0), departure)
+
+    while pq:
+        (node, k), key = pq.pop()
+        if key > arrival[node][k]:
+            continue
+        for edge in adjacency[node]:
+            t_next = edge.arrival(key)
+            is_boarding = edge.ttf is None and graph.is_station_node(node)
+            k_next = k + 1 if is_boarding else k
+            if k_next >= layers:
+                continue
+            head = edge.target
+            if t_next < arrival[head][k_next]:
+                # A better arrival with k transfers improves every
+                # budget ≥ k as well.
+                for kk in range(k_next, layers):
+                    if t_next < arrival[head][kk]:
+                        arrival[head][kk] = t_next
+                pq.push((head, k_next), t_next)
+
+    return McTimeQueryResult(
+        source=source,
+        departure=departure,
+        max_transfers=max_transfers,
+        arrival=arrival,
+    )

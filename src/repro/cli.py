@@ -1,0 +1,209 @@
+"""Command-line interface (``repro-transit``).
+
+Subcommands::
+
+    generate   emit a named synthetic instance as a GTFS-like feed
+    info       summarize a timetable (stations, connections, density)
+    profile    one-to-all profile query from a station
+    query      station-to-station profile query
+    table1     regenerate Table 1 rows for an instance
+    table2     regenerate Table 2 rows for an instance
+
+Timetables are read either from a GTFS-like directory (``--gtfs DIR``)
+or generated on the fly (``--instance NAME [--scale SCALE]``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import render_table1, render_table2, run_table1, run_table2
+from repro.core import parallel_profile_search
+from repro.graph import build_td_graph
+from repro.query import (
+    StationToStationEngine,
+    build_distance_table,
+    select_transfer_stations,
+)
+from repro.synthetic import INSTANCE_NAMES, make_instance
+from repro.timetable.gtfs import load_gtfs, save_gtfs
+from repro.timetable.periodic import format_time
+from repro.timetable.types import Timetable
+
+
+def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--instance", choices=INSTANCE_NAMES, help="synthetic instance name"
+    )
+    group.add_argument("--gtfs", help="GTFS-like feed directory")
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=("tiny", "small", "medium"),
+        help="synthetic instance scale (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _load(args: argparse.Namespace) -> Timetable:
+    if args.gtfs:
+        return load_gtfs(args.gtfs)
+    return make_instance(args.instance, args.scale, args.seed)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    timetable = make_instance(args.instance, args.scale, args.seed)
+    save_gtfs(timetable, args.output)
+    print(f"wrote {timetable.summary()} to {args.output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    timetable = _load(args)
+    graph = build_td_graph(timetable)
+    print(timetable.summary())
+    print(
+        f"time-dependent graph: {graph.num_nodes} nodes "
+        f"({graph.num_stations} station, {graph.num_route_nodes} route), "
+        f"{graph.num_edges} edges, {len(graph.routes)} routes"
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    timetable = _load(args)
+    graph = build_td_graph(timetable)
+    result = parallel_profile_search(graph, args.source, args.cores)
+    stats = result.stats
+    print(
+        f"one-to-all from station {args.source} on {args.cores} cores: "
+        f"{stats.settled_connections} settled connections, "
+        f"simulated time {stats.simulated_time * 1000:.1f} ms"
+    )
+    targets = (
+        range(timetable.num_stations) if args.target is None else [args.target]
+    )
+    for target in targets:
+        if target == args.source:
+            continue
+        profile = result.profile(target)
+        points = ", ".join(
+            f"{format_time(dep)}→{format_time(dep + dur)}"
+            for dep, dur in profile.connection_points()[: args.max_points]
+        )
+        suffix = " ..." if len(profile) > args.max_points else ""
+        print(f"  to {target:4d} ({len(profile):3d} points): {points}{suffix}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    timetable = _load(args)
+    graph = build_td_graph(timetable)
+    table = None
+    if args.transfer_fraction > 0:
+        stations = select_transfer_stations(
+            timetable, method="contraction", fraction=args.transfer_fraction
+        )
+        table = build_distance_table(graph, stations, num_threads=args.cores)
+        print(
+            f"distance table over {stations.size} transfer stations "
+            f"({table.size_mib():.2f} MiB, built in {table.build_seconds:.1f} s)"
+        )
+    engine = StationToStationEngine(graph, table, num_threads=args.cores)
+    result = engine.query(args.source, args.target)
+    print(
+        f"{args.source} → {args.target} ({result.classification}): "
+        f"{result.settled_connections} settled connections, "
+        f"simulated time {result.simulated_time * 1000:.1f} ms"
+    )
+    if result.profile.is_empty():
+        print("  no connections found (target unreachable)")
+    for dep, dur in result.profile.connection_points():
+        print(f"  depart {format_time(dep)}  arrive {format_time(dep + dur)}  ({dur} min)")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    result = run_table1(
+        args.instance,
+        scale=args.scale,
+        num_queries=args.queries,
+        seed=args.seed,
+    )
+    print(render_table1([result]))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    rows = run_table2(
+        args.instance,
+        scale=args.scale,
+        num_queries=args.queries,
+        seed=args.seed,
+    )
+    print(render_table2(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-transit",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="emit a synthetic GTFS-like feed")
+    p_gen.add_argument("--instance", choices=INSTANCE_NAMES, required=True)
+    p_gen.add_argument("--scale", default="small", choices=("tiny", "small", "medium"))
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--output", required=True, help="output directory")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_info = sub.add_parser("info", help="summarize a timetable")
+    _add_input_arguments(p_info)
+    p_info.set_defaults(func=_cmd_info)
+
+    p_profile = sub.add_parser("profile", help="one-to-all profile query")
+    _add_input_arguments(p_profile)
+    p_profile.add_argument("--source", type=int, required=True)
+    p_profile.add_argument("--target", type=int, default=None)
+    p_profile.add_argument("--cores", type=int, default=4)
+    p_profile.add_argument("--max-points", type=int, default=6)
+    p_profile.set_defaults(func=_cmd_profile)
+
+    p_query = sub.add_parser("query", help="station-to-station query")
+    _add_input_arguments(p_query)
+    p_query.add_argument("--source", type=int, required=True)
+    p_query.add_argument("--target", type=int, required=True)
+    p_query.add_argument("--cores", type=int, default=4)
+    p_query.add_argument(
+        "--transfer-fraction",
+        type=float,
+        default=0.0,
+        help="fraction of stations to use as transfer stations (0 = no table)",
+    )
+    p_query.set_defaults(func=_cmd_query)
+
+    for name, fn in (("table1", _cmd_table1), ("table2", _cmd_table2)):
+        p_tab = sub.add_parser(name, help=f"regenerate {name} for an instance")
+        p_tab.add_argument("--instance", choices=INSTANCE_NAMES, required=True)
+        p_tab.add_argument(
+            "--scale", default="small", choices=("tiny", "small", "medium")
+        )
+        p_tab.add_argument("--queries", type=int, default=5)
+        p_tab.add_argument("--seed", type=int, default=0)
+        p_tab.set_defaults(func=fn)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

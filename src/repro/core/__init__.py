@@ -1,0 +1,40 @@
+"""The paper's primary contribution (§3): self-pruning
+connection-setting profile search (SPCS) and its parallelization.
+
+* :mod:`repro.core.spcs` — the sequential algorithm with
+  connection-setting, self-pruning, the stopping criterion and pruner
+  hooks (used by the distance-table machinery in :mod:`repro.query`).
+* :mod:`repro.core.partition` — partitioning ``conn(S)`` over threads
+  (§3.2): equal time-slots, equal #connections, k-means.
+* :mod:`repro.core.parallel` — the parallel driver with ``serial`` /
+  ``threads`` / ``processes`` execution backends and the
+  simulated-cores accounting used by the benchmarks.
+* :mod:`repro.core.merge` — merging per-thread labels and reading off
+  reduced profiles.
+"""
+
+from repro.core.spcs import SPCSResult, spcs_profile_search
+from repro.core.partition import (
+    PARTITION_STRATEGIES,
+    partition_equal_connections,
+    partition_equal_time_slots,
+    partition_kmeans,
+)
+from repro.core.merge import MergedProfileResult, merge_thread_results
+from repro.core.multicriteria import McProfileResult, mc_profile_search
+from repro.core.parallel import ParallelRunStats, parallel_profile_search
+
+__all__ = [
+    "SPCSResult",
+    "spcs_profile_search",
+    "PARTITION_STRATEGIES",
+    "partition_equal_connections",
+    "partition_equal_time_slots",
+    "partition_kmeans",
+    "MergedProfileResult",
+    "merge_thread_results",
+    "McProfileResult",
+    "mc_profile_search",
+    "ParallelRunStats",
+    "parallel_profile_search",
+]

@@ -1,0 +1,210 @@
+"""Parallel SPCS driver (paper §3.2).
+
+Partitions ``conn(S)`` into ``p`` subsets, runs one SPCS instance per
+subset, merges the labels and reduces.  Execution backends:
+
+* ``serial``   — run subsets one after another in this thread (exact
+  per-thread work/time accounting; the default for experiments);
+* ``threads``  — ``concurrent.futures.ThreadPoolExecutor``.  Functional
+  but GIL-bound in CPython: threads serialize on bytecode, so expect no
+  wall-clock speed-up (the repo's DESIGN.md documents this substitution);
+* ``processes`` — fork-based ``multiprocessing``; real parallelism on
+  multi-core hosts at the cost of forking and result pickling.
+
+Whatever the backend, the result carries *simulated-cores* accounting:
+``simulated_time = max_t(thread_time_t) + merge_time`` — the wall-clock
+a p-core machine would see, because the master must wait for the
+slowest thread before merging (paper §3.2, "Choice of the Partition").
+The per-thread settled-connection counts expose the paper's key
+parallel effect: self-pruning cannot cross threads, so total work grows
+with p.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.merge import MergedProfileResult, merge_thread_results
+from repro.core.partition import PARTITION_STRATEGIES
+from repro.core.spcs import SPCSResult, spcs_profile_search
+from repro.graph.td_model import TDGraph
+
+# Module-level state for fork-based workers (inherited copy-on-write).
+_FORK_STATE: dict[str, object] = {}
+
+
+def _fork_worker(args: tuple[int, int, list[int], bool, str]) -> SPCSResult:
+    source, _thread_id, subset, self_pruning, queue = args
+    graph = _FORK_STATE["graph"]
+    return spcs_profile_search(
+        graph,  # type: ignore[arg-type]
+        source,
+        connection_subset=subset,
+        self_pruning=self_pruning,
+        queue=queue,
+    )
+
+
+@dataclass(slots=True)
+class ParallelRunStats:
+    """Work and time accounting of one parallel one-to-all query."""
+
+    num_threads: int
+    partition_sizes: list[int]
+    #: Settled connections per thread (queue extractions).
+    settled_per_thread: list[int]
+    #: Wall-clock seconds each thread's search took.
+    time_per_thread: list[float]
+    #: Seconds spent merging labels.
+    merge_time: float
+    #: Wall-clock of the whole call (backend-dependent).
+    total_time: float
+
+    @property
+    def settled_connections(self) -> int:
+        """Total settled connections, summed over threads (Table 1)."""
+        return sum(self.settled_per_thread)
+
+    @property
+    def simulated_time(self) -> float:
+        """What a p-core machine would measure: slowest thread + merge."""
+        slowest = max(self.time_per_thread) if self.time_per_thread else 0.0
+        return slowest + self.merge_time
+
+
+@dataclass(slots=True)
+class ParallelProfileResult:
+    """Merged result plus accounting."""
+
+    merged: MergedProfileResult
+    thread_results: list[SPCSResult]
+    stats: ParallelRunStats
+
+    def profile(self, station: int):
+        return self.merged.profile(station)
+
+
+def parallel_profile_search(
+    graph: TDGraph,
+    source: int,
+    num_threads: int = 1,
+    *,
+    strategy: str = "equal-connections",
+    backend: str = "serial",
+    self_pruning: bool = True,
+    queue: str = "binary",
+) -> ParallelProfileResult:
+    """One-to-all profile search on ``num_threads`` simulated cores.
+
+    ``strategy`` is a :data:`~repro.core.partition.PARTITION_STRATEGIES`
+    key; ``backend`` one of ``serial`` / ``threads`` / ``processes``.
+    """
+    if num_threads < 1:
+        raise ValueError(f"need at least one thread, got {num_threads}")
+    try:
+        partition_fn = PARTITION_STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown partition strategy {strategy!r}; "
+            f"choose from {sorted(PARTITION_STRATEGIES)}"
+        ) from None
+
+    timetable = graph.timetable
+    conns = timetable.outgoing_connections(source)
+    conn_deps = [c.dep_time for c in conns]
+    parts = partition_fn(conn_deps, num_threads, timetable.period)
+
+    start_total = time.perf_counter()
+    thread_results: list[SPCSResult] = []
+    times: list[float] = []
+
+    if backend == "serial":
+        for subset in parts:
+            t0 = time.perf_counter()
+            thread_results.append(
+                spcs_profile_search(
+                    graph,
+                    source,
+                    connection_subset=subset,
+                    self_pruning=self_pruning,
+                    queue=queue,
+                )
+            )
+            times.append(time.perf_counter() - t0)
+    elif backend == "threads":
+        def run(subset: list[int]) -> tuple[SPCSResult, float]:
+            t0 = time.perf_counter()
+            result = spcs_profile_search(
+                graph,
+                source,
+                connection_subset=subset,
+                self_pruning=self_pruning,
+                queue=queue,
+            )
+            return result, time.perf_counter() - t0
+
+        with ThreadPoolExecutor(max_workers=num_threads) as pool:
+            for result, elapsed in pool.map(run, parts):
+                thread_results.append(result)
+                times.append(elapsed)
+    elif backend == "processes":
+        import multiprocessing as mp
+
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            return parallel_profile_search(
+                graph,
+                source,
+                num_threads,
+                strategy=strategy,
+                backend="threads",
+                self_pruning=self_pruning,
+                queue=queue,
+            )
+        _FORK_STATE["graph"] = graph
+        args = [
+            (source, t, subset, self_pruning, queue)
+            for t, subset in enumerate(parts)
+        ]
+        try:
+            with ctx.Pool(processes=num_threads) as pool:
+                t0 = time.perf_counter()
+                thread_results = pool.map(_fork_worker, args)
+                elapsed = time.perf_counter() - t0
+            # Per-thread times are not observable across processes;
+            # attribute wall time proportionally to settled counts.
+            total_settled = sum(
+                r.stats.settled_connections for r in thread_results
+            ) or 1
+            times = [
+                elapsed * r.stats.settled_connections / total_settled
+                for r in thread_results
+            ]
+        finally:
+            _FORK_STATE.pop("graph", None)
+    else:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose serial, threads or processes"
+        )
+
+    t_merge = time.perf_counter()
+    merged = merge_thread_results(thread_results, len(conns))
+    merge_time = time.perf_counter() - t_merge
+    total_time = time.perf_counter() - start_total
+
+    stats = ParallelRunStats(
+        num_threads=num_threads,
+        partition_sizes=[len(p) for p in parts],
+        settled_per_thread=[
+            r.stats.settled_connections for r in thread_results
+        ],
+        time_per_thread=times,
+        merge_time=merge_time,
+        total_time=total_time,
+    )
+    return ParallelProfileResult(
+        merged=merged, thread_results=thread_results, stats=stats
+    )

@@ -1,0 +1,27 @@
+"""Piecewise-linear travel-time functions (paper §2) and profile algebra.
+
+Travel-time functions in public transportation networks are piecewise
+linear of a special form: each is represented by a set of
+*connection points* ``(τ_f, w_f)`` with
+
+    f(τ) = Δ(τ, τ_f) + w_f   for the point minimizing Δ(τ, τ_f).
+
+This package provides the edge travel-time functions, profile functions
+(``dist(S, T, ·)``), the connection-reduction dominance scan of §3.1,
+and the pointwise algebra the label-correcting baseline uses.
+"""
+
+from repro.functions.piecewise import INF_TIME, TravelTimeFunction
+from repro.functions.reduction import (
+    reduce_connection_points,
+    reduction_mask,
+)
+from repro.functions.algebra import Profile
+
+__all__ = [
+    "INF_TIME",
+    "TravelTimeFunction",
+    "reduce_connection_points",
+    "reduction_mask",
+    "Profile",
+]

@@ -1,0 +1,20 @@
+"""Graph models of a timetable.
+
+* :mod:`repro.graph.td_model` — the *realistic time-dependent model* of
+  Pyrga et al. used by the paper (§2): station nodes plus per-route
+  route nodes, constant transfer edges and time-dependent route edges.
+* :mod:`repro.graph.station_graph` — the station graph ``G_S`` (§4):
+  one node per station, an edge where at least one train runs.
+* :mod:`repro.graph.csr` — small CSR utilities shared by both.
+"""
+
+from repro.graph.td_model import Edge, TDGraph, build_td_graph
+from repro.graph.station_graph import StationGraph, build_station_graph
+
+__all__ = [
+    "Edge",
+    "TDGraph",
+    "build_td_graph",
+    "StationGraph",
+    "build_station_graph",
+]

@@ -1,0 +1,25 @@
+"""Priority queues.
+
+The paper's implementation uses a binary heap.  We provide an
+addressable binary heap with ``decrease-key`` (the default), a
+generalized d-ary variant, and a lazy ``heapq``-based queue; the heap
+ablation bench (`benchmarks/bench_ablation_heap.py`) compares them.
+
+All queues share one protocol over integer item ids:
+
+* ``push(item, key)`` — insert or decrease-key;
+* ``pop()`` — remove and return ``(item, key)`` with minimum key;
+* ``__len__`` / ``__bool__`` — number of *live* items.
+"""
+
+from repro.pq.binary_heap import AddressableHeap
+from repro.pq.dary_heap import DaryHeap
+from repro.pq.lazy_heap import LazyHeap
+
+QUEUE_FACTORIES = {
+    "binary": AddressableHeap,
+    "4-ary": lambda: DaryHeap(arity=4),
+    "lazy": LazyHeap,
+}
+
+__all__ = ["AddressableHeap", "DaryHeap", "LazyHeap", "QUEUE_FACTORIES"]

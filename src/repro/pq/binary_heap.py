@@ -1,0 +1,134 @@
+"""Addressable binary min-heap with decrease-key.
+
+Items are arbitrary hashable ids (the algorithms use ints or
+(node, connection) tuples); a position map supports O(log n)
+``decrease-key`` via re-``push``.  Matches the queue the paper's C++
+implementation uses.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+
+class AddressableHeap:
+    """Binary min-heap keyed by integers with an item→position index."""
+
+    __slots__ = ("_keys", "_items", "_pos", "pushes", "pops", "decrease_keys")
+
+    def __init__(self) -> None:
+        self._keys: list[int] = []
+        self._items: list[Hashable] = []
+        self._pos: dict[Hashable, int] = {}
+        #: Operation counters (inspected by benches and tests).
+        self.pushes = 0
+        self.pops = 0
+        self.decrease_keys = 0
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __bool__(self) -> bool:
+        return bool(self._keys)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._pos
+
+    def key_of(self, item: Hashable) -> int:
+        """Current key of a contained item."""
+        return self._keys[self._pos[item]]
+
+    def push(self, item: Hashable, key: int) -> bool:
+        """Insert ``item`` or decrease its key.
+
+        Returns True if the queue changed (new item, or key decreased);
+        an attempted key *increase* is ignored and returns False, which
+        is the semantics Dijkstra-style relaxation wants.
+        """
+        pos = self._pos.get(item)
+        if pos is None:
+            self._keys.append(key)
+            self._items.append(item)
+            self._pos[item] = len(self._keys) - 1
+            self._sift_up(len(self._keys) - 1)
+            self.pushes += 1
+            return True
+        if key < self._keys[pos]:
+            self._keys[pos] = key
+            self._sift_up(pos)
+            self.decrease_keys += 1
+            return True
+        return False
+
+    def pop(self) -> tuple[Hashable, int]:
+        """Remove and return the minimum ``(item, key)``."""
+        if not self._keys:
+            raise IndexError("pop from empty heap")
+        item, key = self._items[0], self._keys[0]
+        del self._pos[item]
+        last_key, last_item = self._keys.pop(), self._items.pop()
+        if self._keys:
+            self._keys[0], self._items[0] = last_key, last_item
+            self._pos[last_item] = 0
+            self._sift_down(0)
+        self.pops += 1
+        return item, key
+
+    def peek(self) -> tuple[Hashable, int]:
+        """Return the minimum ``(item, key)`` without removing it."""
+        if not self._keys:
+            raise IndexError("peek at empty heap")
+        return self._items[0], self._keys[0]
+
+    def discard(self, item: Hashable) -> bool:
+        """Remove ``item`` if present; returns whether it was contained.
+
+        Used by the stopping criterion, which prunes whole connection
+        classes out of the queue.
+        """
+        pos = self._pos.get(item)
+        if pos is None:
+            return False
+        del self._pos[item]
+        last_key, last_item = self._keys.pop(), self._items.pop()
+        if pos < len(self._keys):
+            old_key = self._keys[pos]
+            self._keys[pos], self._items[pos] = last_key, last_item
+            self._pos[last_item] = pos
+            if last_key < old_key:
+                self._sift_up(pos)
+            else:
+                self._sift_down(pos)
+        return True
+
+    def _sift_up(self, pos: int) -> None:
+        keys, items, index = self._keys, self._items, self._pos
+        key, item = keys[pos], items[pos]
+        while pos > 0:
+            parent = (pos - 1) >> 1
+            if keys[parent] <= key:
+                break
+            keys[pos], items[pos] = keys[parent], items[parent]
+            index[items[pos]] = pos
+            pos = parent
+        keys[pos], items[pos] = key, item
+        index[item] = pos
+
+    def _sift_down(self, pos: int) -> None:
+        keys, items, index = self._keys, self._items, self._pos
+        n = len(keys)
+        key, item = keys[pos], items[pos]
+        while True:
+            child = 2 * pos + 1
+            if child >= n:
+                break
+            right = child + 1
+            if right < n and keys[right] < keys[child]:
+                child = right
+            if keys[child] >= key:
+                break
+            keys[pos], items[pos] = keys[child], items[child]
+            index[items[pos]] = pos
+            pos = child
+        keys[pos], items[pos] = key, item
+        index[item] = pos

@@ -1,0 +1,128 @@
+"""Addressable d-ary min-heap.
+
+Same protocol as :class:`repro.pq.binary_heap.AddressableHeap` but with
+configurable arity.  Wider heaps trade cheaper ``decrease-key`` /
+``push`` (shallower tree) for costlier ``pop`` (d comparisons per
+level); the heap ablation bench measures the effect on SPCS.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+
+class DaryHeap:
+    """Addressable d-ary min-heap with decrease-key."""
+
+    __slots__ = ("_arity", "_keys", "_items", "_pos", "pushes", "pops", "decrease_keys")
+
+    def __init__(self, arity: int = 4) -> None:
+        if arity < 2:
+            raise ValueError(f"arity must be at least 2, got {arity}")
+        self._arity = arity
+        self._keys: list[int] = []
+        self._items: list[Hashable] = []
+        self._pos: dict[Hashable, int] = {}
+        self.pushes = 0
+        self.pops = 0
+        self.decrease_keys = 0
+
+    @property
+    def arity(self) -> int:
+        return self._arity
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __bool__(self) -> bool:
+        return bool(self._keys)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._pos
+
+    def key_of(self, item: Hashable) -> int:
+        return self._keys[self._pos[item]]
+
+    def push(self, item: Hashable, key: int) -> bool:
+        pos = self._pos.get(item)
+        if pos is None:
+            self._keys.append(key)
+            self._items.append(item)
+            self._pos[item] = len(self._keys) - 1
+            self._sift_up(len(self._keys) - 1)
+            self.pushes += 1
+            return True
+        if key < self._keys[pos]:
+            self._keys[pos] = key
+            self._sift_up(pos)
+            self.decrease_keys += 1
+            return True
+        return False
+
+    def pop(self) -> tuple[Hashable, int]:
+        if not self._keys:
+            raise IndexError("pop from empty heap")
+        item, key = self._items[0], self._keys[0]
+        del self._pos[item]
+        last_key, last_item = self._keys.pop(), self._items.pop()
+        if self._keys:
+            self._keys[0], self._items[0] = last_key, last_item
+            self._pos[last_item] = 0
+            self._sift_down(0)
+        self.pops += 1
+        return item, key
+
+    def peek(self) -> tuple[Hashable, int]:
+        if not self._keys:
+            raise IndexError("peek at empty heap")
+        return self._items[0], self._keys[0]
+
+    def discard(self, item: Hashable) -> bool:
+        pos = self._pos.get(item)
+        if pos is None:
+            return False
+        del self._pos[item]
+        last_key, last_item = self._keys.pop(), self._items.pop()
+        if pos < len(self._keys):
+            old_key = self._keys[pos]
+            self._keys[pos], self._items[pos] = last_key, last_item
+            self._pos[last_item] = pos
+            if last_key < old_key:
+                self._sift_up(pos)
+            else:
+                self._sift_down(pos)
+        return True
+
+    def _sift_up(self, pos: int) -> None:
+        keys, items, index, d = self._keys, self._items, self._pos, self._arity
+        key, item = keys[pos], items[pos]
+        while pos > 0:
+            parent = (pos - 1) // d
+            if keys[parent] <= key:
+                break
+            keys[pos], items[pos] = keys[parent], items[parent]
+            index[items[pos]] = pos
+            pos = parent
+        keys[pos], items[pos] = key, item
+        index[item] = pos
+
+    def _sift_down(self, pos: int) -> None:
+        keys, items, index, d = self._keys, self._items, self._pos, self._arity
+        n = len(keys)
+        key, item = keys[pos], items[pos]
+        while True:
+            first_child = d * pos + 1
+            if first_child >= n:
+                break
+            best = first_child
+            best_key = keys[first_child]
+            for child in range(first_child + 1, min(first_child + d, n)):
+                if keys[child] < best_key:
+                    best, best_key = child, keys[child]
+            if best_key >= key:
+                break
+            keys[pos], items[pos] = best_key, items[best]
+            index[items[pos]] = pos
+            pos = best
+        keys[pos], items[pos] = key, item
+        index[item] = pos

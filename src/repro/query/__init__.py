@@ -1,0 +1,38 @@
+"""Station-to-station queries (paper §4).
+
+* :mod:`repro.query.via` — local stations, via stations, local/global
+  classification (reverse DFS on the station graph).
+* :mod:`repro.query.distance_table` — the profile distance table ``D``
+  over transfer stations, precomputed with the parallel one-to-all
+  algorithm.
+* :mod:`repro.query.table_query` — the full station-to-station engine:
+  stopping criterion + distance-table pruning (Theorem 3) + target
+  pruning (Theorem 4) + the ``S, T ∈ S_trans`` shortcut.
+* :mod:`repro.query.transfer_selection` — choosing ``S_trans`` by
+  station-graph contraction or by degree.
+* :mod:`repro.query.contraction` — the CH-style contraction routine.
+"""
+
+from repro.query.via import ViaInfo, compute_via_stations
+from repro.query.distance_table import DistanceTable, build_distance_table
+from repro.query.table_query import (
+    StationToStationEngine,
+    StationToStationResult,
+)
+from repro.query.transfer_selection import (
+    select_by_contraction,
+    select_by_degree,
+    select_transfer_stations,
+)
+
+__all__ = [
+    "ViaInfo",
+    "compute_via_stations",
+    "DistanceTable",
+    "build_distance_table",
+    "StationToStationEngine",
+    "StationToStationResult",
+    "select_by_contraction",
+    "select_by_degree",
+    "select_transfer_stations",
+]

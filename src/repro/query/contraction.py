@@ -1,0 +1,168 @@
+"""CH-style contraction of the station graph (paper §4, citing [12]).
+
+Iteratively removes the least important station, inserting shortcut
+edges to preserve min-travel-time distances between surviving stations.
+Importance is the classic lazy-evaluated priority
+
+    priority(u) = edge_difference(u) + deleted_neighbours(u)
+
+with ``edge_difference = #shortcuts needed − #incident edges``.
+Shortcut necessity is decided by a bounded witness search (a small
+Dijkstra that ignores ``u``).
+
+The paper only needs contraction for *ordering*: the ``c`` stations
+that survive longest become the transfer stations.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.graph.station_graph import StationGraph
+
+#: Settle budget of one witness search; small values make contraction
+#: insert a few redundant shortcuts (harmless for ordering).
+WITNESS_SETTLE_LIMIT = 64
+
+
+@dataclass(slots=True)
+class ContractionResult:
+    """Outcome of contracting ``num_removed`` stations."""
+
+    #: Station ids in removal order (least important first).
+    removal_order: list[int]
+    #: Stations never removed (the important ones).
+    survivors: list[int]
+    #: Number of shortcut edges inserted.
+    shortcuts_added: int
+
+
+class _DynamicGraph:
+    """Mutable directed graph with min-collapsed parallel edges."""
+
+    __slots__ = ("succ", "pred", "alive")
+
+    def __init__(self, station_graph: StationGraph) -> None:
+        n = station_graph.num_stations
+        self.succ: list[dict[int, int]] = [dict() for _ in range(n)]
+        self.pred: list[dict[int, int]] = [dict() for _ in range(n)]
+        self.alive = [True] * n
+        for u in range(n):
+            targets = station_graph.successors(u)
+            weights = station_graph.successor_weights(u)
+            for v, w in zip(targets.tolist(), weights.tolist()):
+                if v == u:
+                    continue
+                self.add_edge(u, v, int(w))
+
+    def add_edge(self, u: int, v: int, w: int) -> None:
+        current = self.succ[u].get(v)
+        if current is None or w < current:
+            self.succ[u][v] = w
+            self.pred[v][u] = w
+
+    def remove_node(self, u: int) -> None:
+        for v in list(self.succ[u]):
+            del self.pred[v][u]
+        for v in list(self.pred[u]):
+            del self.succ[v][u]
+        self.succ[u].clear()
+        self.pred[u].clear()
+        self.alive[u] = False
+
+    def witness_exists(self, a: int, b: int, via: int, limit_weight: int) -> bool:
+        """Bounded Dijkstra a→b avoiding ``via``; True iff some path of
+        weight ≤ ``limit_weight`` exists."""
+        if a == b:
+            return True
+        dist = {a: 0}
+        heap = [(0, a)]
+        settled = 0
+        while heap and settled < WITNESS_SETTLE_LIMIT:
+            d, x = heapq.heappop(heap)
+            if d > dist.get(x, -1):
+                continue
+            if x == b:
+                return d <= limit_weight
+            if d > limit_weight:
+                return False
+            settled += 1
+            for y, w in self.succ[x].items():
+                if y == via:
+                    continue
+                nd = d + w
+                if nd <= limit_weight and nd < dist.get(y, nd + 1):
+                    dist[y] = nd
+                    heapq.heappush(heap, (nd, y))
+        return dist.get(b, limit_weight + 1) <= limit_weight
+
+
+def _required_shortcuts(
+    graph: _DynamicGraph, u: int
+) -> list[tuple[int, int, int]]:
+    """Shortcuts (a, b, w) needed if ``u`` were removed now."""
+    shortcuts = []
+    for a, w_in in graph.pred[u].items():
+        for b, w_out in graph.succ[u].items():
+            if a == b:
+                continue
+            through = w_in + w_out
+            if not graph.witness_exists(a, b, u, through):
+                shortcuts.append((a, b, through))
+    return shortcuts
+
+
+def _priority(graph: _DynamicGraph, u: int, deleted_neighbours: list[int]) -> int:
+    shortcuts = _required_shortcuts(graph, u)
+    incident = len(graph.pred[u]) + len(graph.succ[u])
+    return len(shortcuts) - incident + deleted_neighbours[u]
+
+
+def contract_stations(
+    station_graph: StationGraph, num_to_remove: int
+) -> ContractionResult:
+    """Contract the ``num_to_remove`` least important stations.
+
+    Uses lazy priority re-evaluation: the popped candidate is
+    recomputed, and re-inserted if it no longer has minimum priority.
+    """
+    n = station_graph.num_stations
+    if not (0 <= num_to_remove <= n):
+        raise ValueError(
+            f"num_to_remove must be within [0, {n}], got {num_to_remove}"
+        )
+    graph = _DynamicGraph(station_graph)
+    deleted_neighbours = [0] * n
+
+    heap: list[tuple[int, int]] = []
+    for u in range(n):
+        heapq.heappush(heap, (_priority(graph, u, deleted_neighbours), u))
+
+    removal_order: list[int] = []
+    shortcuts_added = 0
+    while heap and len(removal_order) < num_to_remove:
+        prio, u = heapq.heappop(heap)
+        if not graph.alive[u]:
+            continue
+        current = _priority(graph, u, deleted_neighbours)
+        if heap and current > heap[0][0]:
+            heapq.heappush(heap, (current, u))  # lazy re-evaluation
+            continue
+        shortcuts = _required_shortcuts(graph, u)
+        neighbours = set(graph.pred[u]) | set(graph.succ[u])
+        graph.remove_node(u)
+        for a, b, w in shortcuts:
+            graph.add_edge(a, b, w)
+        shortcuts_added += len(shortcuts)
+        for v in neighbours:
+            if graph.alive[v]:
+                deleted_neighbours[v] += 1
+        removal_order.append(u)
+
+    survivors = [u for u in range(n) if graph.alive[u]]
+    return ContractionResult(
+        removal_order=removal_order,
+        survivors=survivors,
+        shortcuts_added=shortcuts_added,
+    )

@@ -1,0 +1,67 @@
+"""Transfer-station selection (paper §4, "Selection of Transfer
+Stations").
+
+Two strategies:
+
+* **contraction** — contract the station graph until only a target
+  fraction of stations survives; survivors are the transfer stations
+  (the paper marks "any station ... not removed after the contraction
+  of c stations");
+* **degree** — every station of station-graph degree > k.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.station_graph import StationGraph, build_station_graph
+from repro.query.contraction import contract_stations
+from repro.timetable.types import Timetable
+
+
+def select_by_contraction(
+    station_graph: StationGraph, fraction: float
+) -> list[int]:
+    """Keep the ``fraction`` of stations surviving contraction longest.
+
+    ``fraction`` is the share of stations to mark as transfer stations
+    (Table 2 uses 1 %, 2.5 %, 5 %, 10 %, 20 %, 30 %).
+    """
+    if not (0.0 <= fraction <= 1.0):
+        raise ValueError(f"fraction must be within [0, 1], got {fraction}")
+    n = station_graph.num_stations
+    keep = int(round(n * fraction))
+    result = contract_stations(station_graph, n - keep)
+    return sorted(result.survivors)
+
+
+def select_by_degree(station_graph: StationGraph, min_degree: int) -> list[int]:
+    """All stations with station-graph degree strictly above
+    ``min_degree`` (the paper's ``deg > 2`` rows use ``min_degree=2``)."""
+    return [
+        s
+        for s in range(station_graph.num_stations)
+        if station_graph.degree(s) > min_degree
+    ]
+
+
+def select_transfer_stations(
+    timetable: Timetable,
+    *,
+    method: str = "contraction",
+    fraction: float = 0.05,
+    min_degree: int = 2,
+    station_graph: StationGraph | None = None,
+) -> np.ndarray:
+    """Unified entry point; returns a sorted int64 station-id vector."""
+    if station_graph is None:
+        station_graph = build_station_graph(timetable)
+    if method == "contraction":
+        stations = select_by_contraction(station_graph, fraction)
+    elif method == "degree":
+        stations = select_by_degree(station_graph, min_degree)
+    else:
+        raise ValueError(
+            f"unknown selection method {method!r}; use contraction or degree"
+        )
+    return np.asarray(stations, dtype=np.int64)

@@ -1,0 +1,90 @@
+"""Local and via stations (paper §4, Fig. 3).
+
+The *local stations* of ``T`` are all stations reachable from ``T`` in
+the reverse station graph through non-transfer stations only; the
+*via stations* are the transfer stations adjacent to that local
+neighbourhood — they separate ``T ∪ local(T)`` from the rest of the
+station graph, so any global query must pass one of them.
+
+Computed on-the-fly by a DFS on the reverse station graph, pruned at
+transfer stations; the DFS doubles as the local/global classifier:
+touching the source makes the query local.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.station_graph import StationGraph
+
+
+@dataclass(slots=True)
+class ViaInfo:
+    """Result of the via-station DFS for a target station."""
+
+    target: int
+    #: Stations L with a simple all-non-transfer path L → T (excl. T).
+    local_stations: frozenset[int]
+    #: Transfer stations adjacent to T ∪ local(T) — every global query
+    #: passes one of them.
+    via_stations: frozenset[int]
+
+    def classify(self, source: int) -> str:
+        """``"local"`` if the S-T query may avoid all via stations."""
+        if source == self.target or source in self.local_stations:
+            return "local"
+        return "global"
+
+
+def compute_via_stations(
+    station_graph: StationGraph,
+    target: int,
+    transfer_mask: np.ndarray,
+) -> ViaInfo:
+    """Reverse-DFS from ``target``, pruning at transfer stations.
+
+    ``transfer_mask`` is a boolean vector over stations (``S_trans``).
+    Special case (paper §4): a transfer-station target has
+    ``local(T) = ∅`` and ``via(T) = {T}``.
+    """
+    mask = np.asarray(transfer_mask, dtype=bool)
+    if mask.shape != (station_graph.num_stations,):
+        raise ValueError(
+            f"transfer mask must cover all {station_graph.num_stations} "
+            f"stations, got shape {mask.shape}"
+        )
+    if not (0 <= target < station_graph.num_stations):
+        raise ValueError(f"unknown target station {target}")
+
+    if mask[target]:
+        return ViaInfo(
+            target=target,
+            local_stations=frozenset(),
+            via_stations=frozenset({target}),
+        )
+
+    local: set[int] = set()
+    via: set[int] = set()
+    visited = np.zeros(station_graph.num_stations, dtype=bool)
+    visited[target] = True
+    stack = [target]
+    while stack:
+        station = stack.pop()
+        for pred in station_graph.predecessors(station):
+            pred = int(pred)
+            if visited[pred]:
+                continue
+            visited[pred] = True
+            if mask[pred]:
+                via.add(pred)  # prune: do not search past transfer stations
+            else:
+                local.add(pred)
+                stack.append(pred)
+
+    return ViaInfo(
+        target=target,
+        local_stations=frozenset(local),
+        via_stations=frozenset(via),
+    )

@@ -1,0 +1,136 @@
+"""Synthetic railway networks (the Germany / Europe analogues).
+
+Hub-and-spoke hierarchy: a backbone of hubs connected by intercity
+lines (long legs, moderate frequency) and, per hub, a chain of
+satellite stations served by a regional line (short legs, low
+frequency).  Both line kinds run bidirectionally.
+
+The defining properties mirrored from the paper's railway inputs are a
+*low connections-per-station ratio* and longer legs — the reasons the
+Europe instance scales worst in §5.1 (few outgoing connections per
+station ⇒ small per-thread subsets ⇒ little self-pruning and biased
+thread runtimes).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.synthetic.schedules import SchedulePattern, daily_departures
+from repro.timetable.builder import TimetableBuilder
+from repro.timetable.types import Timetable
+
+
+@dataclass(frozen=True, slots=True)
+class RailNetworkConfig:
+    """Parameters of a synthetic railway network."""
+
+    num_hubs: int = 8
+    satellites_per_hub: int = 6
+    #: Number of intercity lines threaded through the hub backbone.
+    num_intercity_lines: int = 6
+    #: Hubs visited by one intercity line (inclusive range).
+    intercity_stops: tuple[int, int] = (3, 6)
+    intercity_headway: tuple[int, int] = (55, 120)
+    regional_headway: tuple[int, int] = (35, 90)
+    intercity_leg_time: tuple[int, int] = (25, 80)
+    regional_leg_time: tuple[int, int] = (8, 25)
+    hub_transfer: tuple[int, int] = (4, 8)
+    satellite_transfer: tuple[int, int] = (2, 5)
+    seed: int = 0
+    name: str = "rail"
+
+    def __post_init__(self) -> None:
+        if self.num_hubs < 2:
+            raise ValueError("need at least 2 hubs")
+        if self.satellites_per_hub < 0:
+            raise ValueError("satellites_per_hub must be non-negative")
+        if self.intercity_stops[0] < 2:
+            raise ValueError("intercity lines need at least 2 stops")
+
+
+def generate_rail_network(config: RailNetworkConfig) -> Timetable:
+    """Generate a railway timetable (deterministic in ``config.seed``)."""
+    rng = random.Random(config.seed)
+    builder = TimetableBuilder(name=config.name)
+
+    hubs = [
+        builder.add_station(
+            f"{config.name}-hub-{h}",
+            transfer_time=rng.randint(*config.hub_transfer),
+        )
+        for h in range(config.num_hubs)
+    ]
+    satellites: dict[int, list[int]] = {
+        hub: [
+            builder.add_station(
+                f"{config.name}-hub{h}-sat-{k}",
+                transfer_time=rng.randint(*config.satellite_transfer),
+            )
+            for k in range(config.satellites_per_hub)
+        ]
+        for h, hub in enumerate(hubs)
+    }
+
+    # Ride time is a property of the track segment, not of the line (two
+    # lines sharing a station sequence must agree on leg durations or the
+    # merged route would violate FIFO).
+    leg_time: dict[tuple[int, int], int] = {}
+
+    def leg_minutes(a: int, b: int, leg_range: tuple[int, int]) -> int:
+        key = (min(a, b), max(a, b))
+        if key not in leg_time:
+            leg_time[key] = rng.randint(*leg_range)
+        return leg_time[key]
+
+    def add_line(
+        stops: list[int],
+        headway_range: tuple[int, int],
+        leg_range: tuple[int, int],
+        rush_factor: int,
+    ) -> None:
+        if len(stops) < 2:
+            return
+        legs = [
+            leg_minutes(stops[k], stops[k + 1], leg_range)
+            for k in range(len(stops) - 1)
+        ]
+        pattern = SchedulePattern(
+            base_headway=rng.randint(*headway_range),
+            rush_factor=rush_factor,
+            jitter=3,
+        )
+        for seq, seq_legs in ((stops, legs), (stops[::-1], legs[::-1])):
+            offset = rng.randint(0, pattern.base_headway)
+            for dep in daily_departures(pattern, rng, offset=offset):
+                t = dep
+                trip = [(seq[0], t)]
+                for k, leg in enumerate(seq_legs):
+                    t += leg
+                    trip.append((seq[k + 1], t))
+                builder.add_trip(trip)
+
+    # Backbone ring so the hub graph is always connected.
+    ring = hubs + [hubs[0]]
+    for a, b in zip(ring, ring[1:]):
+        add_line([a, b], config.intercity_headway, config.intercity_leg_time, 2)
+
+    # Long intercity lines across the backbone.
+    for _ in range(config.num_intercity_lines):
+        length = rng.randint(*config.intercity_stops)
+        length = min(length, len(hubs))
+        stops = rng.sample(hubs, length)
+        add_line(stops, config.intercity_headway, config.intercity_leg_time, 2)
+
+    # Regional chains: hub → sat1 → sat2 → ...
+    for hub, sats in satellites.items():
+        if sats:
+            add_line(
+                [hub] + sats,
+                config.regional_headway,
+                config.regional_leg_time,
+                2,
+            )
+
+    return builder.build()

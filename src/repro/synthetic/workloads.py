@@ -1,0 +1,34 @@
+"""Reproducible random query workloads (paper §5 picks stations
+uniformly at random)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.timetable.types import Timetable
+
+
+def random_sources(
+    timetable: Timetable, count: int, seed: int = 0
+) -> list[int]:
+    """``count`` source stations, uniform with replacement."""
+    if timetable.num_stations == 0:
+        raise ValueError("timetable has no stations")
+    rng = random.Random(seed)
+    return [rng.randrange(timetable.num_stations) for _ in range(count)]
+
+
+def random_station_pairs(
+    timetable: Timetable, count: int, seed: int = 0
+) -> list[tuple[int, int]]:
+    """``count`` (source, target) pairs with distinct endpoints."""
+    if timetable.num_stations < 2:
+        raise ValueError("need at least two stations for pairs")
+    rng = random.Random(seed)
+    pairs = []
+    while len(pairs) < count:
+        s = rng.randrange(timetable.num_stations)
+        t = rng.randrange(timetable.num_stations)
+        if s != t:
+            pairs.append((s, t))
+    return pairs

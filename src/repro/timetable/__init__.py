@@ -1,0 +1,52 @@
+"""Periodic timetable model (paper §2).
+
+A periodic timetable is a tuple ``(C, S, Z, Π, T)``: elementary
+connections, stations, trains, discrete time points, and per-station
+minimum transfer times.  This package provides the data model, periodic
+time arithmetic, route partitioning, validation, a fluent builder, and
+GTFS-like CSV input/output.
+"""
+
+from repro.timetable.periodic import (
+    DAY_MINUTES,
+    PeriodicTime,
+    delta,
+    format_time,
+    normalize,
+    parse_time,
+)
+from repro.timetable.types import (
+    Connection,
+    Route,
+    Station,
+    Timetable,
+    Train,
+)
+from repro.timetable.routes import partition_routes
+from repro.timetable.builder import TimetableBuilder
+from repro.timetable.delays import Delay, apply_delays, train_lateness_profile
+from repro.timetable.validation import (
+    TimetableError,
+    validate_timetable,
+)
+
+__all__ = [
+    "DAY_MINUTES",
+    "PeriodicTime",
+    "delta",
+    "normalize",
+    "parse_time",
+    "format_time",
+    "Station",
+    "Train",
+    "Connection",
+    "Route",
+    "Timetable",
+    "partition_routes",
+    "TimetableBuilder",
+    "Delay",
+    "apply_delays",
+    "train_lateness_profile",
+    "TimetableError",
+    "validate_timetable",
+]

@@ -1,0 +1,143 @@
+"""Fluent construction of timetables.
+
+:class:`TimetableBuilder` assigns dense ids, supports named stations,
+and offers ``add_trip`` to lay down a whole train run at once — the
+primary way tests, examples and the synthetic generators create
+timetables.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.timetable.periodic import DAY_MINUTES
+from repro.timetable.types import Connection, Station, Timetable, Train
+from repro.timetable.validation import validate_timetable
+
+
+class TimetableBuilder:
+    """Incrementally build a :class:`~repro.timetable.types.Timetable`.
+
+    Example::
+
+        builder = TimetableBuilder(name="toy")
+        a = builder.add_station("A", transfer_time=2)
+        b = builder.add_station("B")
+        builder.add_trip([(a, 480), (b, 495)], name="bus-1")
+        timetable = builder.build()
+    """
+
+    def __init__(self, *, period: int = DAY_MINUTES, name: str = "unnamed") -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self._period = period
+        self._name = name
+        self._stations: list[Station] = []
+        self._station_ids: dict[str, int] = {}
+        self._trains: list[Train] = []
+        self._connections: list[Connection] = []
+
+    @property
+    def num_stations(self) -> int:
+        return len(self._stations)
+
+    @property
+    def num_trains(self) -> int:
+        return len(self._trains)
+
+    def iter_connections(self):
+        """Read-only view of the connections added so far (generators use
+        this to reason about connectivity before building)."""
+        return iter(self._connections)
+
+    def add_station(self, name: str | None = None, *, transfer_time: int = 5) -> int:
+        """Register a station; returns its dense id.
+
+        Re-adding an existing name returns the existing id (the transfer
+        time must then agree).
+        """
+        if name is None:
+            name = f"station-{len(self._stations)}"
+        if name in self._station_ids:
+            sid = self._station_ids[name]
+            if self._stations[sid].transfer_time != transfer_time:
+                raise ValueError(
+                    f"station {name!r} already exists with transfer time "
+                    f"{self._stations[sid].transfer_time}, got {transfer_time}"
+                )
+            return sid
+        station = Station(id=len(self._stations), name=name, transfer_time=transfer_time)
+        self._stations.append(station)
+        self._station_ids[name] = station.id
+        return station.id
+
+    def station_id(self, name: str) -> int:
+        """Look up a station id by name."""
+        try:
+            return self._station_ids[name]
+        except KeyError:
+            raise KeyError(f"unknown station {name!r}") from None
+
+    def add_train(self, name: str = "") -> int:
+        """Register a train; returns its dense id."""
+        train = Train(id=len(self._trains), name=name or f"train-{len(self._trains)}")
+        self._trains.append(train)
+        return train.id
+
+    def add_connection(
+        self, train: int, dep_station: int, arr_station: int, dep_time: int, arr_time: int
+    ) -> None:
+        """Add a single elementary connection.
+
+        ``dep_time`` is normalized into ``Π``; ``arr_time`` is shifted by
+        the same amount so the duration is preserved.
+        """
+        if not (0 <= train < len(self._trains)):
+            raise ValueError(f"unknown train id {train}")
+        for station in (dep_station, arr_station):
+            if not (0 <= station < len(self._stations)):
+                raise ValueError(f"unknown station id {station}")
+        shift = (dep_time % self._period) - dep_time
+        self._connections.append(
+            Connection(
+                train=train,
+                dep_station=dep_station,
+                arr_station=arr_station,
+                dep_time=dep_time + shift,
+                arr_time=arr_time + shift,
+            )
+        )
+
+    def add_trip(self, stops: Sequence[tuple[int, int]], *, name: str = "") -> int:
+        """Lay down a full train run.
+
+        ``stops`` is a sequence of ``(station_id, time)`` pairs; the train
+        departs each stop at its listed time and arrives at the next stop
+        at that stop's time.  Dwell time at intermediate stops is folded
+        into the leg (the realistic model attaches transfer costs at
+        stations, not on route legs).  Returns the new train's id.
+        """
+        if len(stops) < 2:
+            raise ValueError(f"a trip needs at least 2 stops, got {len(stops)}")
+        train = self.add_train(name)
+        for (s1, t1), (s2, t2) in zip(stops, stops[1:]):
+            if t2 <= t1:
+                raise ValueError(
+                    f"trip {name!r} does not move forward in time: "
+                    f"{t1} -> {t2} between stations {s1} and {s2}"
+                )
+            self.add_connection(train, s1, s2, t1, t2)
+        return train
+
+    def build(self, *, validate: bool = True, require_fifo: bool = True) -> Timetable:
+        """Finalize into an immutable-ish :class:`Timetable`."""
+        timetable = Timetable(
+            stations=list(self._stations),
+            trains=list(self._trains),
+            connections=list(self._connections),
+            period=self._period,
+            name=self._name,
+        )
+        if validate:
+            validate_timetable(timetable, require_fifo=require_fifo)
+        return timetable

@@ -1,0 +1,132 @@
+"""Delay injection — the fully dynamic scenario (paper §5.1).
+
+The paper notes that because SPCS needs *no preprocessing*, it "can
+directly be used in a fully dynamic scenario as discussed in [20]"
+(Müller-Hannemann, Schnee, Frede: on-trip timetable information under
+delays).  This module provides that scenario: apply primary delays to
+trains and obtain an updated timetable on which any query runs
+unchanged.
+
+Semantics:
+
+* a **primary delay** hits one train at one of its stops: every
+  departure/arrival from that stop onward shifts by the delay;
+* optional **slack recovery**: each subsequent leg may catch up
+  ``slack`` minutes (padding in real schedules), shrinking the delay
+  downstream;
+* delayed trains keep their route (same station sequence), so the graph
+  topology is unchanged — only route-edge travel-time functions differ,
+  which is why no preprocessing has to be repeated;
+* a delayed train may overtake or be overtaken by its siblings: the
+  resulting leg can violate FIFO, which the search stack handles (the
+  edge evaluation takes the lower envelope; see
+  ``tests/core/test_robustness.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.timetable.types import Connection, Timetable
+
+
+@dataclass(frozen=True, slots=True)
+class Delay:
+    """A primary delay: ``train`` is late by ``minutes`` starting at its
+    ``from_stop``-th departure (0 = the train's first departure)."""
+
+    train: int
+    minutes: int
+    from_stop: int = 0
+
+    def __post_init__(self) -> None:
+        if self.minutes < 0:
+            raise ValueError(f"delay must be non-negative, got {self.minutes}")
+        if self.from_stop < 0:
+            raise ValueError(f"from_stop must be non-negative, got {self.from_stop}")
+
+
+def apply_delays(
+    timetable: Timetable,
+    delays: list[Delay] | tuple[Delay, ...],
+    *,
+    slack_per_leg: int = 0,
+) -> Timetable:
+    """Return a new timetable with the given primary delays applied.
+
+    ``slack_per_leg`` minutes of the remaining delay are recovered on
+    every leg after the delayed stop (never below zero).  The input
+    timetable is not modified.  Connections keep their travel order;
+    departures are re-normalized into ``Π`` by the Connection layer's
+    wrap-aware semantics (a heavily delayed night train simply wraps
+    into the next period, as in reality).
+    """
+    if slack_per_leg < 0:
+        raise ValueError(f"slack must be non-negative, got {slack_per_leg}")
+    for delay in delays:
+        if not (0 <= delay.train < timetable.num_trains):
+            raise ValueError(f"unknown train {delay.train}")
+
+    pending: dict[int, list[Delay]] = {}
+    for delay in delays:
+        pending.setdefault(delay.train, []).append(delay)
+
+    # Track, per train, the index of the connection being emitted and the
+    # current accumulated lateness.
+    progress: dict[int, int] = {}
+    lateness: dict[int, int] = {}
+
+    new_connections: list[Connection] = []
+    for c in timetable.connections:
+        stop_index = progress.get(c.train, 0)
+        progress[c.train] = stop_index + 1
+
+        # Recover slack on carried lateness first (a leg can only catch
+        # up delay it already has), then add delays starting here.
+        late = lateness.get(c.train, 0)
+        if late > 0 and slack_per_leg:
+            late = max(0, late - slack_per_leg)
+        for delay in pending.get(c.train, ()):
+            if delay.from_stop == stop_index:
+                late += delay.minutes
+        lateness[c.train] = late
+
+        if late == 0:
+            new_connections.append(c)
+            continue
+        dep = c.dep_time + late
+        new_connections.append(
+            Connection(
+                train=c.train,
+                dep_station=c.dep_station,
+                arr_station=c.arr_station,
+                dep_time=dep % timetable.period,
+                arr_time=dep % timetable.period + c.duration,
+            )
+        )
+
+    return Timetable(
+        stations=list(timetable.stations),
+        trains=list(timetable.trains),
+        connections=new_connections,
+        period=timetable.period,
+        name=f"{timetable.name}+delays",
+    )
+
+
+def train_lateness_profile(
+    timetable: Timetable, delayed: Timetable, train: int
+) -> list[int]:
+    """Per-leg lateness of ``train`` between two timetables (minutes).
+
+    Useful diagnostics for tests and the example: entry ``k`` is the
+    departure shift of the train's ``k``-th leg (wrap-aware).
+    """
+    before = [c for c in timetable.connections if c.train == train]
+    after = [c for c in delayed.connections if c.train == train]
+    if len(before) != len(after):
+        raise ValueError("timetables disagree on the train's run length")
+    period = timetable.period
+    return [
+        (a.dep_time - b.dep_time) % period for a, b in zip(after, before)
+    ]

@@ -1,0 +1,125 @@
+"""GTFS-like feed reader and writer.
+
+The paper sources its city networks from Google Transit Data Feeds
+(GTFS).  Real feeds are not redistributable here, so this module speaks
+a minimal, faithful subset of GTFS — ``stops.txt``, ``trips.txt`` and
+``stop_times.txt`` as CSV files in a directory — which both real feeds
+and our synthetic generators can produce.
+
+Subset semantics:
+
+* ``stops.txt``: ``stop_id,stop_name[,min_transfer_time]`` — transfer
+  time in minutes (GTFS proper puts this in ``transfers.txt``; we accept
+  the inline column for self-containment, defaulting to 5).
+* ``trips.txt``: ``trip_id[,trip_name]``.
+* ``stop_times.txt``: ``trip_id,stop_sequence,stop_id,departure_time``
+  with ``HH:MM[:SS]`` times; hours may exceed 23 for after-midnight
+  stops, as in real GTFS.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.timetable.periodic import DAY_MINUTES, format_time, parse_time
+from repro.timetable.builder import TimetableBuilder
+from repro.timetable.types import Timetable
+
+
+def load_gtfs(directory: str | Path, *, period: int = DAY_MINUTES, name: str | None = None) -> Timetable:
+    """Load a GTFS-like feed directory into a :class:`Timetable`."""
+    root = Path(directory)
+    if not root.is_dir():
+        raise FileNotFoundError(f"GTFS directory not found: {root}")
+    for required in ("stops.txt", "trips.txt", "stop_times.txt"):
+        if not (root / required).exists():
+            raise FileNotFoundError(f"missing {required} in {root}")
+
+    builder = TimetableBuilder(period=period, name=name or root.name)
+
+    stop_ids: dict[str, int] = {}
+    with open(root / "stops.txt", newline="") as handle:
+        for row in csv.DictReader(handle):
+            transfer = int(row.get("min_transfer_time") or 5)
+            stop_ids[row["stop_id"]] = builder.add_station(
+                row.get("stop_name") or row["stop_id"], transfer_time=transfer
+            )
+
+    trip_names: dict[str, str] = {}
+    with open(root / "trips.txt", newline="") as handle:
+        for row in csv.DictReader(handle):
+            trip_names[row["trip_id"]] = row.get("trip_name") or row["trip_id"]
+
+    stop_times: dict[str, list[tuple[int, int, int]]] = {}
+    with open(root / "stop_times.txt", newline="") as handle:
+        for row in csv.DictReader(handle):
+            trip_id = row["trip_id"]
+            if trip_id not in trip_names:
+                raise ValueError(f"stop_times references unknown trip {trip_id!r}")
+            stop_id = row["stop_id"]
+            if stop_id not in stop_ids:
+                raise ValueError(f"stop_times references unknown stop {stop_id!r}")
+            stop_times.setdefault(trip_id, []).append(
+                (
+                    int(row["stop_sequence"]),
+                    stop_ids[stop_id],
+                    parse_time(row["departure_time"]),
+                )
+            )
+
+    for trip_id in sorted(stop_times):
+        entries = sorted(stop_times[trip_id])
+        stops = [(station, tau) for _seq, station, tau in entries]
+        builder.add_trip(stops, name=trip_names[trip_id])
+
+    return builder.build()
+
+
+def save_gtfs(timetable: Timetable, directory: str | Path) -> None:
+    """Write a timetable as a GTFS-like feed directory.
+
+    Round-trips through :func:`load_gtfs` (up to dwell-time folding: a
+    trip's intermediate arrival and departure coincide).
+    """
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+
+    with open(root / "stops.txt", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["stop_id", "stop_name", "min_transfer_time"])
+        for station in timetable.stations:
+            writer.writerow([f"S{station.id}", station.name, station.transfer_time])
+
+    with open(root / "trips.txt", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["trip_id", "trip_name"])
+        for train in timetable.trains:
+            writer.writerow([f"T{train.id}", train.name])
+
+    by_train: dict[int, list] = {}
+    for c in timetable.connections:
+        by_train.setdefault(c.train, []).append(c)
+
+    with open(root / "stop_times.txt", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["trip_id", "stop_sequence", "stop_id", "departure_time"])
+        for train_id in sorted(by_train):
+            # Connections are stored in travel order (see
+            # repro.timetable.routes); a trip crossing midnight has
+            # smaller *normalized* departures on its late legs, so we
+            # lift each onto a monotone absolute clock before writing.
+            conns = by_train[train_id]
+            seq = 0
+            clock = conns[0].dep_time
+            for c in conns:
+                dep_abs = clock + (c.dep_time - clock) % timetable.period
+                writer.writerow(
+                    [f"T{train_id}", seq, f"S{c.dep_station}", format_time(dep_abs)]
+                )
+                seq += 1
+                clock = dep_abs + c.duration
+            last = conns[-1]
+            writer.writerow(
+                [f"T{train_id}", seq, f"S{last.arr_station}", format_time(clock)]
+            )

@@ -1,0 +1,74 @@
+"""Binary-ish JSON serialization of timetables.
+
+A compact single-file format used for caching generated instances and
+shipping fixtures between test processes.  GTFS-like directories remain
+the interchange format (:mod:`repro.timetable.gtfs`); this one is for
+speed and exactness (no time re-parsing).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.timetable.types import Connection, Station, Timetable, Train
+
+FORMAT_VERSION = 1
+
+
+def timetable_to_dict(timetable: Timetable) -> dict:
+    """Lossless dict form of a timetable (JSON-serializable)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": timetable.name,
+        "period": timetable.period,
+        "stations": [
+            [s.id, s.name, s.transfer_time] for s in timetable.stations
+        ],
+        "trains": [[t.id, t.name] for t in timetable.trains],
+        "connections": [
+            [c.train, c.dep_station, c.arr_station, c.dep_time, c.arr_time]
+            for c in timetable.connections
+        ],
+    }
+
+
+def timetable_from_dict(data: dict) -> Timetable:
+    """Inverse of :func:`timetable_to_dict`."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported timetable format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    return Timetable(
+        stations=[
+            Station(id=sid, name=name, transfer_time=transfer)
+            for sid, name, transfer in data["stations"]
+        ],
+        trains=[Train(id=tid, name=name) for tid, name in data["trains"]],
+        connections=[
+            Connection(
+                train=train,
+                dep_station=dep_station,
+                arr_station=arr_station,
+                dep_time=dep_time,
+                arr_time=arr_time,
+            )
+            for train, dep_station, arr_station, dep_time, arr_time in data[
+                "connections"
+            ]
+        ],
+        period=data["period"],
+        name=data.get("name", "unnamed"),
+    )
+
+
+def save_timetable(timetable: Timetable, path: str | Path) -> None:
+    """Write a timetable to a JSON file."""
+    Path(path).write_text(json.dumps(timetable_to_dict(timetable)))
+
+
+def load_timetable(path: str | Path) -> Timetable:
+    """Read a timetable from a JSON file written by :func:`save_timetable`."""
+    return timetable_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,120 @@
+"""Periodic time arithmetic (paper §2).
+
+The timetable operates on a finite set of discrete time points
+``Π = {0, ..., π − 1}`` (think of a day's minutes).  Durations and
+arrival times may exceed ``π`` (a train arriving after midnight), so two
+kinds of values coexist:
+
+* *time points* in ``Π`` — departure times within the period;
+* *absolute times* in ``N0`` — arrival labels along a path, unbounded.
+
+The length between two time points is the cyclic difference
+
+    Δ(τ1, τ2) = τ2 − τ1        if τ2 ≥ τ1
+                π + τ2 − τ1    otherwise
+
+which is **not** symmetric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Default periodicity: one day in minutes.
+DAY_MINUTES = 1440
+
+#: Sentinel for "unreachable" arrival labels.  Chosen so that adding any
+#: realistic duration never overflows int64 in numpy arrays.
+INF_TIME = 2**62
+
+
+def normalize(tau: int, period: int = DAY_MINUTES) -> int:
+    """Reduce an absolute time to its time point in ``Π``.
+
+    >>> normalize(1500)
+    60
+    """
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    return tau % period
+
+
+def delta(tau1: int, tau2: int, period: int = DAY_MINUTES) -> int:
+    """Cyclic length ``Δ(τ1, τ2)`` between two time points (paper §2).
+
+    Both arguments are reduced mod ``period`` first so absolute times may
+    be passed directly.  The result is in ``[0, period)``.
+
+    >>> delta(100, 160)
+    60
+    >>> delta(1400, 20)   # wraps past midnight
+    60
+    """
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    return (tau2 - tau1) % period
+
+
+def parse_time(text: str, period: int = DAY_MINUTES) -> int:
+    """Parse ``"HH:MM"`` (or ``"HH:MM:SS"``, seconds ignored) to minutes.
+
+    Hours ≥ 24 are allowed, matching GTFS conventions for after-midnight
+    trips; the returned value is *not* normalized.
+
+    >>> parse_time("08:30")
+    510
+    >>> parse_time("25:15")
+    1515
+    """
+    parts = text.strip().split(":")
+    if len(parts) not in (2, 3):
+        raise ValueError(f"cannot parse time {text!r}; expected HH:MM[:SS]")
+    try:
+        hours, minutes = int(parts[0]), int(parts[1])
+    except ValueError as exc:
+        raise ValueError(f"cannot parse time {text!r}: {exc}") from None
+    if not 0 <= minutes < 60:
+        raise ValueError(f"minutes out of range in {text!r}")
+    if hours < 0:
+        raise ValueError(f"negative hours in {text!r}")
+    return hours * 60 + minutes
+
+
+def format_time(tau: int) -> str:
+    """Render minutes as ``"HH:MM"`` (hours may exceed 23).
+
+    >>> format_time(510)
+    '08:30'
+    """
+    if tau < 0:
+        raise ValueError(f"cannot format negative time {tau}")
+    return f"{tau // 60:02d}:{tau % 60:02d}"
+
+
+@dataclass(frozen=True, slots=True)
+class PeriodicTime:
+    """A time point bound to a periodicity, with cyclic operators.
+
+    A convenience wrapper used by examples and the CLI; the hot
+    algorithm paths use plain ints for speed.
+    """
+
+    value: int
+    period: int = DAY_MINUTES
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+        object.__setattr__(self, "value", self.value % self.period)
+
+    def until(self, other: "PeriodicTime | int") -> int:
+        """Cyclic distance from self to ``other`` (``Δ(self, other)``)."""
+        other_value = other.value if isinstance(other, PeriodicTime) else other
+        return delta(self.value, other_value, self.period)
+
+    def shifted(self, minutes: int) -> "PeriodicTime":
+        """Return this time advanced by ``minutes`` (mod period)."""
+        return PeriodicTime(self.value + minutes, self.period)
+
+    def __str__(self) -> str:
+        return format_time(self.value)

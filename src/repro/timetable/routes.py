@@ -1,0 +1,110 @@
+"""Route partitioning (paper §2).
+
+The set ``Z`` of trains is partitioned into *routes*: two trains are
+equivalent iff they run through the same sequence of stations.  Route
+nodes in the realistic time-dependent model correspond 1:1 to
+(route, station) pairs produced here.
+
+Ordering invariant: a train's elementary connections appear in **travel
+order** in ``Timetable.connections`` (the builder and all loaders emit
+them this way).  Departure times are periodic (``τ_dep ∈ Π``), so a
+trip crossing midnight has a *smaller* normalized departure on its late
+legs — travel order cannot be reconstructed by sorting on time points,
+which is why the list order is authoritative.  Chain consistency is
+verified with wrap-aware arithmetic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.timetable.types import Connection, Route, Timetable
+
+
+def train_station_sequences(
+    timetable: Timetable,
+) -> dict[int, tuple[int, ...]]:
+    """Each train's ordered station sequence, from its connections in
+    travel (list) order.
+
+    Raises ``ValueError`` if a train's connections do not form a single
+    station-chained run that moves forward in (wrap-aware) time.
+    """
+    by_train: dict[int, list[Connection]] = defaultdict(list)
+    for c in timetable.connections:
+        by_train[c.train].append(c)
+
+    period = timetable.period
+    sequences: dict[int, tuple[int, ...]] = {}
+    for train_id, conns in by_train.items():
+        seq = [conns[0].dep_station]
+        # Unwrapped absolute clock along the run.
+        clock = conns[0].dep_time
+        for c in conns:
+            if c.dep_station != seq[-1]:
+                raise ValueError(
+                    f"train {train_id} departs station {c.dep_station} but "
+                    f"its previous stop was {seq[-1]}"
+                )
+            # Lift the periodic departure onto the unwrapped clock: the
+            # next departure is the first occurrence of its time point
+            # at or after the previous arrival.
+            dep_abs = clock + (c.dep_time - clock) % period
+            clock = dep_abs + c.duration
+            seq.append(c.arr_station)
+        sequences[train_id] = tuple(seq)
+    return sequences
+
+
+def partition_routes(timetable: Timetable) -> list[Route]:
+    """Partition trains into routes by identical station sequences.
+
+    Returns routes with dense ids ``0..r−1``, deterministically ordered by
+    (sequence, first member train id) so repeated runs agree exactly.
+    """
+    sequences = train_station_sequences(timetable)
+    groups: dict[tuple[int, ...], list[int]] = defaultdict(list)
+    for train_id in sorted(sequences):
+        groups[sequences[train_id]].append(train_id)
+
+    routes: list[Route] = []
+    for seq in sorted(groups, key=lambda s: (s, groups[s][0])):
+        routes.append(
+            Route(id=len(routes), stations=seq, trains=tuple(groups[seq]))
+        )
+    return routes
+
+
+def connections_by_route_leg(
+    timetable: Timetable, routes: list[Route]
+) -> dict[tuple[int, int], list[Connection]]:
+    """Group elementary connections onto route legs.
+
+    Key ``(route_id, leg_index)`` identifies the edge between the
+    ``leg_index``-th and ``leg_index+1``-th station of the route; the
+    value lists that leg's elementary connections, sorted by departure
+    time point.  A train's k-th connection (in travel order) lands on
+    leg k of its route.
+    """
+    route_of_train: dict[int, Route] = {}
+    for route in routes:
+        for train_id in route.trains:
+            route_of_train[train_id] = route
+
+    legs: dict[tuple[int, int], list[Connection]] = defaultdict(list)
+    progress: dict[int, int] = defaultdict(int)
+    for c in timetable.connections:
+        route = route_of_train.get(c.train)
+        if route is None:
+            raise ValueError(f"connection references unknown train {c.train}")
+        leg = progress[c.train]
+        if leg >= route.num_legs or route.stations[leg] != c.dep_station:
+            raise ValueError(
+                f"connection {c} does not match route {route.id} at leg {leg}"
+            )
+        legs[(route.id, leg)].append(c)
+        progress[c.train] += 1
+
+    for conns in legs.values():
+        conns.sort(key=lambda c: (c.dep_time, c.arr_time))
+    return dict(legs)

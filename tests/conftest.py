@@ -1,0 +1,43 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.td_model import build_td_graph
+from repro.synthetic.instances import make_instance
+
+from tests.helpers import toy_timetable
+
+
+@pytest.fixture(scope="session")
+def toy():
+    """The hand-checkable 4-station network (see tests.helpers)."""
+    return toy_timetable()
+
+
+@pytest.fixture(scope="session")
+def toy_graph(toy):
+    return build_td_graph(toy)
+
+
+@pytest.fixture(scope="session")
+def oahu_tiny():
+    """Small dense bus instance shared across integration tests."""
+    return make_instance("oahu", scale="tiny")
+
+
+@pytest.fixture(scope="session")
+def oahu_tiny_graph(oahu_tiny):
+    return build_td_graph(oahu_tiny)
+
+
+@pytest.fixture(scope="session")
+def germany_tiny():
+    """Small sparse rail instance."""
+    return make_instance("germany", scale="tiny")
+
+
+@pytest.fixture(scope="session")
+def germany_tiny_graph(germany_tiny):
+    return build_td_graph(germany_tiny)

@@ -1,0 +1,83 @@
+"""Unit tests for merging per-thread SPCS results (paper §3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.merge import merge_thread_results
+from repro.core.partition import partition_equal_connections
+from repro.core.spcs import spcs_profile_search
+from repro.functions.piecewise import INF_TIME
+
+
+def _thread_results(graph, source, p):
+    conns = graph.timetable.outgoing_connections(source)
+    parts = partition_equal_connections([c.dep_time for c in conns], p)
+    return [
+        spcs_profile_search(graph, source, connection_subset=part)
+        for part in parts
+    ], len(conns)
+
+
+class TestMergeThreadResults:
+    def test_merged_profiles_match_single_run(self, toy_graph):
+        single = spcs_profile_search(toy_graph, 0)
+        results, n = _thread_results(toy_graph, 0, 3)
+        merged = merge_thread_results(results, n)
+        for station in range(toy_graph.num_stations):
+            assert merged.profile(station) == single.profile(station)
+
+    def test_column_placement(self, toy_graph):
+        results, n = _thread_results(toy_graph, 0, 2)
+        merged = merge_thread_results(results, n)
+        for r in results:
+            for local, global_idx in enumerate(r.conn_indices.tolist()):
+                assert (
+                    merged.labels[:, global_idx] == r.labels[:, local]
+                ).all()
+
+    def test_conn_deps_global_order(self, toy_graph):
+        results, n = _thread_results(toy_graph, 0, 4)
+        merged = merge_thread_results(results, n)
+        conns = toy_graph.timetable.outgoing_connections(0)
+        assert merged.conn_deps.tolist() == [c.dep_time for c in conns]
+
+    def test_requires_results(self):
+        with pytest.raises(ValueError, match="at least one"):
+            merge_thread_results([], 5)
+
+    def test_rejects_overlapping_subsets(self, toy_graph):
+        a = spcs_profile_search(toy_graph, 0, connection_subset=[0, 1])
+        b = spcs_profile_search(toy_graph, 0, connection_subset=[1, 2])
+        with pytest.raises(ValueError, match="overlap"):
+            merge_thread_results([a, b], 3)
+
+    def test_rejects_source_mismatch(self, toy_graph):
+        a = spcs_profile_search(toy_graph, 0, connection_subset=[0])
+        b = spcs_profile_search(toy_graph, 1, connection_subset=[1])
+        with pytest.raises(ValueError, match="source"):
+            merge_thread_results([a, b], 2)
+
+    def test_uncovered_columns_stay_infinite(self, toy_graph):
+        a = spcs_profile_search(toy_graph, 0, connection_subset=[0, 2])
+        merged = merge_thread_results([a], 4)
+        assert (merged.labels[:, 1] == INF_TIME).all()
+        assert (merged.labels[:, 3] == INF_TIME).all()
+        # Anchors stay monotone for Profile construction.
+        assert (np.diff(merged.conn_deps) >= 0).all()
+
+    def test_merged_nonfifo_reduced_by_profile(self, oahu_tiny_graph):
+        """The merged common label need not be FIFO (no cross-thread
+        self-pruning); profile() must reduce it (paper §3.2)."""
+        results, n = _thread_results(oahu_tiny_graph, 0, 4)
+        merged = merge_thread_results(results, n)
+        single = spcs_profile_search(oahu_tiny_graph, 0)
+        for station in range(oahu_tiny_graph.num_stations):
+            profile = merged.profile(station)
+            assert profile.is_fifo()
+            assert profile == single.profile(station)
+
+    def test_earliest_arrival_convenience(self, toy_graph):
+        results, n = _thread_results(toy_graph, 0, 2)
+        merged = merge_thread_results(results, n)
+        profile = merged.profile(2)
+        assert merged.earliest_arrival(2, 480) == profile.earliest_arrival(480)

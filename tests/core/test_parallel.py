@@ -1,0 +1,88 @@
+"""Unit tests for the parallel SPCS driver (paper §3.2)."""
+
+import pytest
+
+from repro.core.parallel import parallel_profile_search
+from repro.core.spcs import spcs_profile_search
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    def test_any_core_count_matches_single_run(self, toy_graph, p):
+        single = spcs_profile_search(toy_graph, 0)
+        result = parallel_profile_search(toy_graph, 0, p)
+        for station in range(toy_graph.num_stations):
+            assert result.profile(station) == single.profile(station)
+
+    @pytest.mark.parametrize("strategy", ["equal-connections", "equal-time-slots", "kmeans"])
+    def test_all_strategies_agree(self, toy_graph, strategy):
+        base = parallel_profile_search(toy_graph, 0, 3)
+        other = parallel_profile_search(toy_graph, 0, 3, strategy=strategy)
+        for station in range(toy_graph.num_stations):
+            assert other.profile(station) == base.profile(station)
+
+    def test_more_threads_than_connections(self, toy_graph):
+        conns = toy_graph.timetable.outgoing_connections(0)
+        result = parallel_profile_search(toy_graph, 0, len(conns) + 5)
+        single = spcs_profile_search(toy_graph, 0)
+        for station in range(toy_graph.num_stations):
+            assert result.profile(station) == single.profile(station)
+
+    def test_rejects_zero_threads(self, toy_graph):
+        with pytest.raises(ValueError, match="thread"):
+            parallel_profile_search(toy_graph, 0, 0)
+
+    def test_rejects_unknown_strategy(self, toy_graph):
+        with pytest.raises(ValueError, match="strategy"):
+            parallel_profile_search(toy_graph, 0, 2, strategy="nope")
+
+    def test_rejects_unknown_backend(self, toy_graph):
+        with pytest.raises(ValueError, match="backend"):
+            parallel_profile_search(toy_graph, 0, 2, backend="gpu")
+
+
+class TestBackends:
+    def test_threads_backend_matches_serial(self, toy_graph):
+        serial = parallel_profile_search(toy_graph, 0, 3, backend="serial")
+        threads = parallel_profile_search(toy_graph, 0, 3, backend="threads")
+        for station in range(toy_graph.num_stations):
+            assert threads.profile(station) == serial.profile(station)
+
+    @pytest.mark.slow
+    def test_processes_backend_matches_serial(self, toy_graph):
+        serial = parallel_profile_search(toy_graph, 0, 2, backend="serial")
+        procs = parallel_profile_search(toy_graph, 0, 2, backend="processes")
+        for station in range(toy_graph.num_stations):
+            assert procs.profile(station) == serial.profile(station)
+
+
+class TestAccounting:
+    def test_stats_shapes(self, toy_graph):
+        result = parallel_profile_search(toy_graph, 0, 4)
+        stats = result.stats
+        assert stats.num_threads == 4
+        assert len(stats.partition_sizes) == 4
+        assert len(stats.settled_per_thread) == 4
+        assert len(stats.time_per_thread) == 4
+        assert stats.settled_connections == sum(stats.settled_per_thread)
+
+    def test_simulated_time_definition(self, toy_graph):
+        stats = parallel_profile_search(toy_graph, 0, 4).stats
+        assert stats.simulated_time == pytest.approx(
+            max(stats.time_per_thread) + stats.merge_time
+        )
+
+    def test_partition_sizes_cover_connections(self, toy_graph):
+        result = parallel_profile_search(toy_graph, 0, 4)
+        conns = toy_graph.timetable.outgoing_connections(0)
+        assert sum(result.stats.partition_sizes) == len(conns)
+
+    def test_parallel_work_never_less_due_to_pruning_loss(self, oahu_tiny_graph):
+        """More threads ⇒ less cross-connection self-pruning ⇒ the total
+        settled count stays within a small factor of — and typically
+        above — the single-thread count (paper §3.2)."""
+        single = parallel_profile_search(oahu_tiny_graph, 0, 1)
+        multi = parallel_profile_search(oahu_tiny_graph, 0, 8)
+        # Tie-breaking noise can shave individual settles; the count must
+        # never *drop* noticeably.
+        assert multi.stats.settled_connections >= 0.95 * single.stats.settled_connections

@@ -1,0 +1,148 @@
+"""Unit and property tests for profile functions and their algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.functions.algebra import Profile, merge_profiles
+from repro.functions.piecewise import INF_TIME
+
+
+def _profile():
+    # Depart 08:00 → arrive 08:40; 09:00 → 09:05; 10:00 → 10:40.
+    return Profile([480, 540, 600], [520, 545, 640])
+
+
+@st.composite
+def reduced_profiles(draw):
+    """Random reduced profiles: strictly increasing deps and arrivals."""
+    n = draw(st.integers(min_value=0, max_value=12))
+    deps = sorted(draw(st.sets(st.integers(0, 1439), min_size=n, max_size=n)))
+    arrs = []
+    floor = 0
+    for dep in deps:
+        arrival = draw(st.integers(max(dep, floor) + 1, max(dep, floor) + 300))
+        arrs.append(arrival)
+        floor = arrival
+    return Profile(deps, arrs)
+
+
+class TestConstruction:
+    def test_rejects_unsorted_deps(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            Profile([20, 10], [30, 40])
+
+    def test_rejects_arrival_before_departure(self):
+        with pytest.raises(ValueError, match="before departure"):
+            Profile([100], [90])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="parallel"):
+            Profile([1, 2], [3])
+
+    def test_from_raw_reduces(self):
+        profile = Profile.from_raw([480, 540, 600], [560, 545, 640])
+        # First point (arr 560) dominated by second (dep later, arr 545).
+        assert profile.connection_points() == [(540, 5), (600, 40)]
+
+    def test_len_and_empty(self):
+        assert len(_profile()) == 3
+        assert not _profile().is_empty()
+        assert Profile([], []).is_empty()
+
+
+class TestEvaluation:
+    def test_exact_anchor(self):
+        assert _profile().earliest_arrival(480) == 520
+
+    def test_between_anchors_takes_next(self):
+        assert _profile().earliest_arrival(481) == 545
+
+    def test_wraps_to_next_day(self):
+        assert _profile().earliest_arrival(601) == 1440 + 520
+
+    def test_empty_profile_unreachable(self):
+        assert Profile([], []).earliest_arrival(0) == INF_TIME
+
+    def test_travel_time(self):
+        assert _profile().travel_time(481) == 545 - 481
+        assert Profile([], []).travel_time(0) == INF_TIME
+
+    def test_absolute_query_times(self):
+        profile = _profile()
+        assert profile.earliest_arrival(1440 + 480) == 1440 + 520
+
+
+class TestMinimum:
+    def test_pointwise_min(self):
+        a = Profile([480], [520])
+        b = Profile([480], [510])
+        assert a.minimum(b) == b.minimum(a)
+        assert a.minimum(b).earliest_arrival(480) == 510
+
+    def test_empty_identity(self):
+        a = _profile()
+        empty = Profile([], [])
+        assert a.minimum(empty) == a
+        assert empty.minimum(a) == a
+
+    def test_period_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="period"):
+            Profile([1], [2], period=100).minimum(Profile([1], [2], period=200))
+
+    @given(a=reduced_profiles(), b=reduced_profiles())
+    def test_minimum_never_worse_than_either(self, a, b):
+        merged = a.minimum(b)
+        for tau in range(0, 1440, 97):
+            assert merged.earliest_arrival(tau) <= a.earliest_arrival(tau)
+            assert merged.earliest_arrival(tau) <= b.earliest_arrival(tau)
+
+    @given(a=reduced_profiles(), b=reduced_profiles())
+    def test_minimum_attained_by_one_side(self, a, b):
+        merged = a.minimum(b)
+        for tau in range(0, 1440, 97):
+            assert merged.earliest_arrival(tau) == min(
+                a.earliest_arrival(tau), b.earliest_arrival(tau)
+            )
+
+    @given(a=reduced_profiles())
+    def test_minimum_idempotent(self, a):
+        assert a.minimum(a) == a
+
+
+class TestDominance:
+    def test_dominates_itself(self):
+        assert _profile().dominates(_profile())
+
+    def test_better_profile_dominates(self):
+        better = Profile([480, 540, 600], [500, 545, 640])
+        assert better.dominates(_profile())
+        assert not _profile().dominates(better)
+
+    @given(a=reduced_profiles(), b=reduced_profiles())
+    def test_minimum_dominates_operands(self, a, b):
+        merged = a.minimum(b)
+        assert merged.dominates(a)
+        assert merged.dominates(b)
+
+
+class TestMergeProfiles:
+    def test_requires_input(self):
+        with pytest.raises(ValueError, match="at least one"):
+            merge_profiles([])
+
+    def test_merges_many(self):
+        profiles = [Profile([100 * k], [100 * k + 10 + k]) for k in range(1, 5)]
+        merged = merge_profiles(profiles)
+        for profile in profiles:
+            assert merged.dominates(profile)
+
+
+class TestFifo:
+    def test_reduced_profile_is_fifo(self):
+        assert _profile().is_fifo()
+
+    @given(a=reduced_profiles())
+    def test_generated_profiles_fifo(self, a):
+        assert a.is_fifo()

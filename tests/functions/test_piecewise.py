@@ -1,0 +1,142 @@
+"""Unit and property tests for edge travel-time functions (paper §2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.functions.piecewise import INF_TIME, TravelTimeFunction
+
+
+def _simple():
+    # Departures 08:00, 09:00, 10:00, each riding 15 min.
+    return TravelTimeFunction([480, 540, 600], [15, 15, 15])
+
+
+class TestConstruction:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="parallel"):
+            TravelTimeFunction([1, 2], [3])
+
+    def test_rejects_unsorted_departures(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            TravelTimeFunction([5, 3], [1, 1])
+
+    def test_rejects_departure_outside_period(self):
+        with pytest.raises(ValueError, match="outside"):
+            TravelTimeFunction([1500], [10])
+
+    def test_rejects_non_positive_duration(self):
+        with pytest.raises(ValueError, match="positive"):
+            TravelTimeFunction([100], [0])
+
+    def test_from_connections(self, toy):
+        conns = [c for c in toy.connections if c.dep_station == 0 and c.arr_station == 1]
+        ttf = TravelTimeFunction.from_connections(conns)
+        assert len(ttf) == len(conns)
+        assert ttf.deps == sorted(ttf.deps)
+
+
+class TestArrival:
+    def test_exact_departure(self):
+        assert _simple().arrival(480) == 495
+
+    def test_waits_for_next(self):
+        assert _simple().arrival(485) == 555
+
+    def test_wraps_past_last_departure(self):
+        # 10:30: next train is tomorrow 08:00, arriving 08:15 (+1 day).
+        assert _simple().arrival(630) == 1440 + 495
+
+    def test_absolute_times_supported(self):
+        assert _simple().arrival(1440 + 480) == 1440 + 495
+
+    def test_empty_function_unreachable(self):
+        assert TravelTimeFunction([], []).arrival(100) == INF_TIME
+
+    def test_overtaking_train_used(self):
+        """A later, faster train must win even though it departs later."""
+        ttf = TravelTimeFunction([100, 110], [60, 20])
+        # At 100: slow arrives 160, waiting for fast arrives 130.
+        assert ttf.arrival(100) == 130
+
+    def test_travel_time(self):
+        assert _simple().travel_time(485) == 70
+        assert TravelTimeFunction([], []).travel_time(0) == INF_TIME
+
+    def test_min_duration(self):
+        assert _simple().min_duration() == 15
+        assert TravelTimeFunction([], []).min_duration() == INF_TIME
+
+
+class TestBatchEvaluation:
+    def test_matches_scalar_on_fifo(self):
+        ttf = _simple()
+        times = np.array([0, 479, 480, 481, 700, 1440 + 480], dtype=np.int64)
+        batch = ttf.arrival_batch(times)
+        scalar = [ttf.arrival(int(t)) for t in times]
+        assert batch.tolist() == scalar
+
+    def test_inf_propagates(self):
+        batch = _simple().arrival_batch(np.array([INF_TIME, 480], dtype=np.int64))
+        assert batch[0] == INF_TIME
+        assert batch[1] == 495
+
+    def test_matches_scalar_on_non_fifo(self):
+        ttf = TravelTimeFunction([100, 110, 300], [60, 20, 10])
+        times = np.arange(0, 1600, 7, dtype=np.int64)
+        assert ttf.arrival_batch(times).tolist() == [
+            ttf.arrival(int(t)) for t in times
+        ]
+
+    def test_empty_function(self):
+        out = TravelTimeFunction([], []).arrival_batch(np.array([5], dtype=np.int64))
+        assert out[0] == INF_TIME
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_points=st.integers(min_value=1, max_value=12),
+    )
+    def test_batch_equals_scalar_random(self, seed, num_points):
+        rng = np.random.default_rng(seed)
+        deps = np.sort(rng.integers(0, 1440, num_points))
+        durs = rng.integers(1, 200, num_points)
+        ttf = TravelTimeFunction(deps.tolist(), durs.tolist())
+        times = rng.integers(0, 3 * 1440, 32).astype(np.int64)
+        assert ttf.arrival_batch(times).tolist() == [
+            ttf.arrival(int(t)) for t in times
+        ]
+
+
+class TestFifo:
+    def test_fifo_function(self):
+        assert _simple().is_fifo()
+
+    def test_non_fifo_detected(self):
+        assert not TravelTimeFunction([100, 110], [60, 20]).is_fifo()
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_points=st.integers(min_value=1, max_value=10),
+    )
+    def test_arrival_never_before_query(self, seed, num_points):
+        rng = np.random.default_rng(seed)
+        deps = np.sort(rng.integers(0, 1440, num_points))
+        durs = rng.integers(1, 300, num_points)
+        ttf = TravelTimeFunction(deps.tolist(), durs.tolist())
+        for t in rng.integers(0, 2 * 1440, 16):
+            assert ttf.arrival(int(t)) > int(t)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_waiting_monotonicity_on_fifo_legs(self, seed):
+        """On constant-duration legs (all generators emit these) the
+        function is FIFO: arrival is non-decreasing in query time."""
+        rng = np.random.default_rng(seed)
+        deps = np.sort(rng.integers(0, 1440, 8))
+        ttf = TravelTimeFunction(deps.tolist(), [17] * 8)
+        arrivals = [ttf.arrival(t) for t in range(0, 1440, 11)]
+        assert all(later >= earlier for earlier, later in zip(arrivals, arrivals[1:]))
+        assert ttf.is_fifo()
+
+    def test_connection_points(self):
+        assert _simple().connection_points() == [(480, 15), (540, 15), (600, 15)]

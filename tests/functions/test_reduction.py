@@ -1,0 +1,122 @@
+"""Unit and property tests for connection reduction (paper §3.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.functions.piecewise import INF_TIME
+from repro.functions.reduction import (
+    is_reduced,
+    reduce_connection_points,
+    reduction_mask,
+)
+
+
+class TestReductionMask:
+    def test_keeps_strictly_improving_points(self):
+        # deps implicit 0..: arrivals 100, 90, 120 → middle dominates first.
+        mask = reduction_mask([100, 90, 120])
+        assert mask.tolist() == [False, True, True]
+
+    def test_equal_arrival_dominated_by_later_departure(self):
+        """Paper: delete j < i_min when τ_arr_j ≥ τ_arr_min — ties lose."""
+        mask = reduction_mask([100, 100])
+        assert mask.tolist() == [False, True]
+
+    def test_infinite_arrivals_dropped(self):
+        mask = reduction_mask([INF_TIME, 50, INF_TIME])
+        assert mask.tolist() == [False, True, False]
+
+    def test_empty(self):
+        assert reduction_mask([]).size == 0
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError, match="1-D"):
+            reduction_mask(np.zeros((2, 2), dtype=np.int64))
+
+    def test_last_point_always_kept_if_finite(self):
+        assert reduction_mask([5])[0]
+        assert not reduction_mask([INF_TIME])[0]
+
+    @given(
+        arrivals=st.lists(
+            st.integers(min_value=0, max_value=10_000) | st.just(INF_TIME),
+            max_size=40,
+        )
+    )
+    def test_survivors_strictly_increasing(self, arrivals):
+        mask = reduction_mask(arrivals)
+        kept = [a for a, keep in zip(arrivals, mask) if keep]
+        assert all(b > a for a, b in zip(kept, kept[1:]))
+        assert INF_TIME not in kept
+
+    @given(
+        arrivals=st.lists(
+            st.integers(min_value=0, max_value=10_000) | st.just(INF_TIME),
+            max_size=40,
+        )
+    )
+    def test_removed_points_are_dominated(self, arrivals):
+        """Every removed finite point has a later point arriving no later."""
+        mask = reduction_mask(arrivals)
+        for i, (arrival, keep) in enumerate(zip(arrivals, mask)):
+            if keep or arrival >= INF_TIME:
+                continue
+            assert any(
+                later <= arrival for later in arrivals[i + 1 :]
+            ), f"point {i} removed without dominator"
+
+    @given(
+        arrivals=st.lists(
+            st.integers(min_value=0, max_value=10_000), max_size=40
+        )
+    )
+    def test_minimum_preserved(self, arrivals):
+        """Reduction never loses the best (minimum) arrival."""
+        mask = reduction_mask(arrivals)
+        if arrivals:
+            kept = [a for a, keep in zip(arrivals, mask) if keep]
+            assert min(kept) == min(arrivals)
+
+
+class TestReduceConnectionPoints:
+    def test_parallel_output(self):
+        deps, arrs = reduce_connection_points([10, 20, 30], [100, 90, 120])
+        assert deps.tolist() == [20, 30]
+        assert arrs.tolist() == [90, 120]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="parallel"):
+            reduce_connection_points([1, 2], [3])
+
+    def test_idempotent(self):
+        deps, arrs = reduce_connection_points([10, 20, 30], [100, 90, 120])
+        deps2, arrs2 = reduce_connection_points(deps, arrs)
+        assert deps2.tolist() == deps.tolist()
+        assert arrs2.tolist() == arrs.tolist()
+
+
+class TestIsReduced:
+    def test_empty_is_reduced(self):
+        assert is_reduced([])
+
+    def test_strictly_increasing(self):
+        assert is_reduced([10, 20, 30])
+
+    def test_plateau_not_reduced(self):
+        assert not is_reduced([10, 10])
+
+    def test_inf_not_reduced(self):
+        assert not is_reduced([10, INF_TIME])
+
+    @given(
+        arrivals=st.lists(
+            st.integers(min_value=0, max_value=10_000) | st.just(INF_TIME),
+            max_size=30,
+        )
+    )
+    def test_reduction_output_is_reduced(self, arrivals):
+        deps = list(range(len(arrivals)))
+        _deps, arrs = reduce_connection_points(deps, np.maximum(arrivals, deps))
+        assert is_reduced(arrs)

@@ -1,0 +1,78 @@
+"""Unit tests for CSR utilities."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import (
+    build_csr,
+    build_weighted_csr,
+    neighbors,
+    out_degrees,
+    reverse_csr,
+)
+
+
+class TestBuildCsr:
+    def test_simple(self):
+        indptr, targets = build_csr(3, [(0, 1), (0, 2), (2, 0)])
+        assert indptr.tolist() == [0, 2, 2, 3]
+        assert targets.tolist() == [1, 2, 0]
+
+    def test_empty(self):
+        indptr, targets = build_csr(2, [])
+        assert indptr.tolist() == [0, 0, 0]
+        assert targets.size == 0
+
+    def test_targets_sorted_per_node(self):
+        indptr, targets = build_csr(2, [(0, 1), (0, 0), (1, 0)])
+        assert neighbors(indptr, targets, 0).tolist() == [0, 1]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="range"):
+            build_csr(2, [(0, 5)])
+
+    def test_negative_num_nodes_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            build_csr(-1, [])
+
+    def test_parallel_edges_kept(self):
+        _indptr, targets = build_csr(2, [(0, 1), (0, 1)])
+        assert targets.tolist() == [1, 1]
+
+
+class TestBuildWeightedCsr:
+    def test_collapses_parallel_to_min(self):
+        indptr, targets, weights = build_weighted_csr(
+            2, [(0, 1, 9), (0, 1, 4), (0, 1, 7)]
+        )
+        assert targets.tolist() == [1]
+        assert weights.tolist() == [4]
+
+    def test_empty(self):
+        indptr, targets, weights = build_weighted_csr(1, [])
+        assert indptr.tolist() == [0, 0]
+        assert targets.size == 0 and weights.size == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="range"):
+            build_weighted_csr(1, [(0, 1, 1)])
+
+
+class TestReverseCsr:
+    def test_reverses_edges(self):
+        indptr, targets = build_csr(3, [(0, 1), (1, 2), (0, 2)])
+        rev_indptr, rev_targets = reverse_csr(3, indptr, targets)
+        assert neighbors(rev_indptr, rev_targets, 2).tolist() == [0, 1]
+        assert neighbors(rev_indptr, rev_targets, 0).size == 0
+
+    def test_double_reverse_is_identity(self):
+        indptr, targets = build_csr(4, [(0, 1), (1, 2), (3, 0), (2, 3)])
+        r1 = reverse_csr(4, indptr, targets)
+        r2 = reverse_csr(4, *r1)
+        assert r2[0].tolist() == indptr.tolist()
+        assert r2[1].tolist() == targets.tolist()
+
+
+def test_out_degrees():
+    indptr, _ = build_csr(3, [(0, 1), (0, 2), (2, 0)])
+    assert out_degrees(indptr).tolist() == [2, 0, 1]

@@ -1,0 +1,98 @@
+"""Shared test utilities: deterministic random networks and reference
+implementations used by property-based tests."""
+
+from __future__ import annotations
+
+import random
+
+from repro.timetable.builder import TimetableBuilder
+from repro.timetable.types import Timetable
+
+
+def toy_timetable() -> Timetable:
+    """A 4-station, 3-line network with hand-checkable answers.
+
+    Lines: A→B→C every 30 min (15 min/leg, 08:00–11:30), C→D every
+    40 min (20 min, 08:10–11:50), A→D direct hourly (70 min, 08:20–).
+    Transfer times: A=2, B=3, C=1, D=2.
+    """
+    builder = TimetableBuilder(name="toy")
+    a = builder.add_station("A", transfer_time=2)
+    b = builder.add_station("B", transfer_time=3)
+    c = builder.add_station("C", transfer_time=1)
+    d = builder.add_station("D", transfer_time=2)
+    for t0 in range(480, 720, 30):
+        builder.add_trip([(a, t0), (b, t0 + 15), (c, t0 + 30)], name=f"abc-{t0}")
+    for t0 in range(490, 720, 40):
+        builder.add_trip([(c, t0), (d, t0 + 20)], name=f"cd-{t0}")
+    for t0 in range(500, 720, 60):
+        builder.add_trip([(a, t0), (d, t0 + 70)], name=f"ad-{t0}")
+    return builder.build()
+
+
+def random_line_timetable(
+    seed: int,
+    *,
+    num_stations: int = 12,
+    num_lines: int = 6,
+    max_line_length: int = 5,
+    min_headway: int = 25,
+    max_headway: int = 90,
+    service_span: tuple[int, int] = (360, 1380),
+) -> Timetable:
+    """A random but always-valid line network, deterministic in ``seed``.
+
+    Per-station-pair leg times keep merged routes FIFO; lines run in
+    both directions so reachability is symmetric.  Used as the input
+    distribution for the cross-implementation equivalence properties.
+    """
+    rng = random.Random(seed)
+    builder = TimetableBuilder(name=f"random-{seed}")
+    stations = [
+        builder.add_station(f"s{k}", transfer_time=rng.randint(0, 5))
+        for k in range(num_stations)
+    ]
+    leg_time: dict[tuple[int, int], int] = {}
+
+    def leg(a: int, b: int) -> int:
+        key = (min(a, b), max(a, b))
+        if key not in leg_time:
+            leg_time[key] = rng.randint(3, 25)
+        return leg_time[key]
+
+    for _ in range(num_lines):
+        length = rng.randint(2, max_line_length)
+        stops = rng.sample(stations, min(length, num_stations))
+        if len(stops) < 2:
+            continue
+        headway = rng.randint(min_headway, max_headway)
+        offset = rng.randint(0, headway)
+        for seq in (stops, stops[::-1]):
+            legs = [leg(seq[k], seq[k + 1]) for k in range(len(seq) - 1)]
+            for dep in range(service_span[0] + offset, service_span[1], headway):
+                t = dep % 1440
+                trip = [(seq[0], t)]
+                for duration in legs:
+                    t += duration
+                    trip.append((seq[len(trip)], t))
+                builder.add_trip(trip)
+    return builder.build()
+
+
+def brute_force_arrivals(
+    graph, source: int, times: list[int]
+) -> dict[int, list[int]]:
+    """Ground-truth earliest arrivals: one full time-query per departure
+    time.  Returns ``{station: [arrival per time]}``.  O(|times|)
+    Dijkstra runs — only for small test networks.
+    """
+    from repro.baselines.time_query import time_query
+
+    arrivals: dict[int, list[int]] = {
+        station: [] for station in range(graph.num_stations)
+    }
+    for tau in times:
+        result = time_query(graph, source, tau)
+        for station in range(graph.num_stations):
+            arrivals[station].append(result.arrival_at_station(station))
+    return arrivals

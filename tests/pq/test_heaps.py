@@ -1,0 +1,153 @@
+"""Unit and property tests for all priority-queue implementations."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pq import QUEUE_FACTORIES, AddressableHeap, DaryHeap, LazyHeap
+
+ALL_QUEUES = sorted(QUEUE_FACTORIES)
+
+
+@pytest.fixture(params=ALL_QUEUES)
+def queue(request):
+    return QUEUE_FACTORIES[request.param]()
+
+
+class TestBasicProtocol:
+    def test_empty(self, queue):
+        assert len(queue) == 0
+        assert not queue
+        with pytest.raises(IndexError):
+            queue.pop()
+        with pytest.raises(IndexError):
+            queue.peek()
+
+    def test_push_pop_single(self, queue):
+        assert queue.push("a", 5)
+        assert len(queue) == 1
+        assert "a" in queue
+        assert queue.peek() == ("a", 5)
+        assert queue.pop() == ("a", 5)
+        assert len(queue) == 0
+
+    def test_pops_in_key_order(self, queue):
+        for item, key in [("a", 30), ("b", 10), ("c", 20)]:
+            queue.push(item, key)
+        assert [queue.pop()[0] for _ in range(3)] == ["b", "c", "a"]
+
+    def test_decrease_key(self, queue):
+        queue.push("a", 50)
+        queue.push("b", 20)
+        assert queue.push("a", 10)  # decrease
+        assert queue.pop() == ("a", 10)
+
+    def test_key_increase_ignored(self, queue):
+        queue.push("a", 10)
+        assert not queue.push("a", 99)
+        assert queue.key_of("a") == 10
+
+    def test_key_of(self, queue):
+        queue.push("x", 7)
+        assert queue.key_of("x") == 7
+
+    def test_discard(self, queue):
+        queue.push("a", 1)
+        queue.push("b", 2)
+        assert queue.discard("a")
+        assert not queue.discard("a")
+        assert queue.pop() == ("b", 2)
+
+    def test_counters(self, queue):
+        queue.push("a", 5)
+        queue.push("a", 3)
+        queue.pop()
+        assert queue.pushes == 1
+        assert queue.decrease_keys == 1
+        assert queue.pops == 1
+
+    def test_tuple_items(self, queue):
+        queue.push((3, 1), 9)
+        queue.push((2, 7), 4)
+        assert queue.pop() == ((2, 7), 4)
+
+
+class TestAgainstReferenceModel:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_ops=st.integers(min_value=1, max_value=300),
+    )
+    def test_random_operations(self, seed, num_ops):
+        """All queues must agree with a naive dict-scan reference.
+
+        Keys are made unique (base key · N + op counter) so that the
+        minimum item is unambiguous and every implementation must pop
+        exactly the same (item, key) sequence.
+        """
+        rng = random.Random(seed)
+        queues = {name: QUEUE_FACTORIES[name]() for name in ALL_QUEUES}
+        reference: dict[int, int] = {}
+        for op_index in range(num_ops):
+            op = rng.random()
+            if op < 0.55 or not reference:
+                item = rng.randrange(40)
+                key = rng.randrange(1000) * 1000 + op_index  # unique
+                current = reference.get(item)
+                if current is None or key < current:
+                    reference[item] = key
+                for q in queues.values():
+                    q.push(item, key)
+            elif op < 0.85:
+                expected_item, expected_key = min(
+                    reference.items(), key=lambda kv: kv[1]
+                )
+                for q in queues.values():
+                    assert q.pop() == (expected_item, expected_key)
+                del reference[expected_item]
+            else:
+                item = rng.randrange(40)
+                expected = item in reference
+                results = {q.discard(item) for q in queues.values()}
+                assert results == {expected}
+                reference.pop(item, None)
+        drain_expected = sorted(reference.items(), key=lambda kv: kv[1])
+        for q in queues.values():
+            drained = []
+            while q:
+                drained.append(q.pop())
+            assert drained == drain_expected
+
+
+class TestHeapSpecifics:
+    def test_dary_arity_validation(self):
+        with pytest.raises(ValueError, match="arity"):
+            DaryHeap(arity=1)
+
+    def test_dary_arity_property(self):
+        assert DaryHeap(arity=4).arity == 4
+
+    def test_lazy_heap_stale_entries_skipped(self):
+        heap = LazyHeap()
+        heap.push("a", 50)
+        heap.push("a", 10)  # stale (50) entry remains internally
+        heap.push("b", 20)
+        assert heap.pop() == ("a", 10)
+        assert heap.pop() == ("b", 20)
+        assert not heap
+
+    def test_addressable_heap_internal_consistency(self):
+        heap = AddressableHeap()
+        rng = random.Random(1)
+        for _ in range(500):
+            heap.push(rng.randrange(60), rng.randrange(1000))
+            if rng.random() < 0.3 and heap:
+                heap.pop()
+        # Heap property: every parent ≤ its children.
+        keys = heap._keys
+        for pos in range(1, len(keys)):
+            assert keys[(pos - 1) >> 1] <= keys[pos]
+        # Position map agrees with storage.
+        for item, pos in heap._pos.items():
+            assert heap._items[pos] == item

@@ -1,0 +1,81 @@
+"""Unit tests for the profile distance table D (paper §4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.spcs import spcs_profile_search
+from repro.functions.piecewise import INF_TIME
+from repro.query.distance_table import build_distance_table
+from repro.query.transfer_selection import select_transfer_stations
+
+
+@pytest.fixture(scope="module")
+def table_setup(request):
+    oahu_graph = request.getfixturevalue("oahu_tiny_graph")
+    stations = select_transfer_stations(
+        oahu_graph.timetable, method="contraction", fraction=0.3
+    )
+    table = build_distance_table(oahu_graph, stations, num_threads=4)
+    return oahu_graph, stations, table
+
+
+class TestBuildDistanceTable:
+    def test_contains(self, table_setup):
+        graph, stations, table = table_setup
+        for s in stations:
+            assert table.contains(int(s))
+        non_transfer = set(range(graph.num_stations)) - set(stations.tolist())
+        assert all(not table.contains(s) for s in non_transfer)
+
+    def test_entries_match_direct_profile_search(self, table_setup):
+        graph, stations, table = table_setup
+        for origin in stations.tolist():
+            truth = spcs_profile_search(graph, origin)
+            for dest in stations.tolist():
+                if origin == dest:
+                    continue
+                assert table.profile_between(origin, dest) == truth.profile(dest)
+
+    def test_self_distance_is_identity(self, table_setup):
+        _graph, stations, table = table_setup
+        origin = int(stations[0])
+        assert table.earliest_arrival(origin, origin, 333) == 333
+
+    def test_evaluation_consistency(self, table_setup):
+        graph, stations, table = table_setup
+        a, b = int(stations[0]), int(stations[1])
+        profile = table.profile_between(a, b)
+        for tau in (0, 480, 720, 1300):
+            assert table.earliest_arrival(a, b, tau) == profile.earliest_arrival(tau)
+
+    def test_unknown_station_rejected(self, table_setup):
+        graph, stations, table = table_setup
+        outsider = next(
+            s for s in range(graph.num_stations) if not table.contains(s)
+        )
+        with pytest.raises(KeyError):
+            table.earliest_arrival(outsider, int(stations[0]), 0)
+
+    def test_size_accounting(self, table_setup):
+        _graph, _stations, table = table_setup
+        points = sum(
+            len(profile) for row in table.profiles for profile in row
+        )
+        assert table.size_bytes() == 16 * points
+        assert table.size_mib() == pytest.approx(table.size_bytes() / 2**20)
+
+    def test_build_metadata(self, table_setup):
+        _graph, stations, table = table_setup
+        assert table.num_transfer_stations == stations.size
+        assert table.build_seconds > 0
+        assert table.build_settled > 0
+
+    def test_rejects_route_node(self, oahu_tiny_graph):
+        with pytest.raises(ValueError, match="station"):
+            build_distance_table(
+                oahu_tiny_graph, [oahu_tiny_graph.num_nodes - 1]
+            )
+
+    def test_duplicate_stations_deduplicated(self, oahu_tiny_graph):
+        table = build_distance_table(oahu_tiny_graph, [0, 0, 1], num_threads=2)
+        assert table.num_transfer_stations == 2

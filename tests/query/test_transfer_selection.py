@@ -1,0 +1,86 @@
+"""Unit tests for transfer-station selection (paper §4)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.station_graph import build_station_graph
+from repro.query.transfer_selection import (
+    select_by_contraction,
+    select_by_degree,
+    select_transfer_stations,
+)
+
+
+class TestSelectByContraction:
+    def test_fraction_respected(self, oahu_tiny):
+        sg = build_station_graph(oahu_tiny)
+        selected = select_by_contraction(sg, 0.25)
+        assert len(selected) == round(sg.num_stations * 0.25)
+
+    def test_zero_fraction(self, oahu_tiny):
+        sg = build_station_graph(oahu_tiny)
+        assert select_by_contraction(sg, 0.0) == []
+
+    def test_full_fraction(self, oahu_tiny):
+        sg = build_station_graph(oahu_tiny)
+        assert select_by_contraction(sg, 1.0) == list(range(sg.num_stations))
+
+    def test_rejects_out_of_range(self, oahu_tiny):
+        sg = build_station_graph(oahu_tiny)
+        with pytest.raises(ValueError, match="fraction"):
+            select_by_contraction(sg, 1.5)
+
+    def test_deterministic(self, oahu_tiny):
+        sg = build_station_graph(oahu_tiny)
+        assert select_by_contraction(sg, 0.3) == select_by_contraction(sg, 0.3)
+
+    def test_hubs_survive_on_rail(self, germany_tiny):
+        """Hub-and-spoke rail: contraction must keep hubs (named
+        ``*-hub-*``) longer than chain-end satellites."""
+        sg = build_station_graph(germany_tiny)
+        keep = max(2, round(sg.num_stations * 0.15))
+        selected = select_by_contraction(sg, keep / sg.num_stations)
+        names = [germany_tiny.stations[s].name for s in selected]
+        hub_share = sum("hub-" in n for n in names) / len(names)
+        assert hub_share >= 0.5, names
+
+
+class TestSelectByDegree:
+    def test_threshold(self, germany_tiny):
+        sg = build_station_graph(germany_tiny)
+        selected = select_by_degree(sg, 2)
+        for s in selected:
+            assert sg.degree(s) > 2
+        for s in set(range(sg.num_stations)) - set(selected):
+            assert sg.degree(s) <= 2
+
+    def test_rail_degree_rule_selects_hubs(self, germany_tiny):
+        sg = build_station_graph(germany_tiny)
+        selected = select_by_degree(sg, 2)
+        names = {germany_tiny.stations[s].name for s in selected}
+        assert names, "expected some high-degree stations"
+        assert all("hub-" in n for n in names)
+
+
+class TestUnifiedEntry:
+    def test_contraction_method(self, oahu_tiny):
+        out = select_transfer_stations(oahu_tiny, method="contraction", fraction=0.2)
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == np.int64
+        assert (np.diff(out) > 0).all()
+
+    def test_degree_method(self, germany_tiny):
+        out = select_transfer_stations(germany_tiny, method="degree", min_degree=2)
+        assert set(out.tolist()) == set(
+            select_by_degree(build_station_graph(germany_tiny), 2)
+        )
+
+    def test_unknown_method(self, oahu_tiny):
+        with pytest.raises(ValueError, match="method"):
+            select_transfer_stations(oahu_tiny, method="magic")
+
+    def test_station_graph_reuse(self, oahu_tiny):
+        sg = build_station_graph(oahu_tiny)
+        a = select_transfer_stations(oahu_tiny, fraction=0.2, station_graph=sg)
+        b = select_transfer_stations(oahu_tiny, fraction=0.2)
+        assert a.tolist() == b.tolist()

@@ -1,0 +1,101 @@
+"""Unit tests for local/via stations (paper §4, Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.station_graph import build_station_graph
+from repro.query.via import compute_via_stations
+from repro.timetable.builder import TimetableBuilder
+
+
+@pytest.fixture()
+def chain_graph():
+    """Line network a—b—c—d—e (bidirectional), one train per leg/dir."""
+    builder = TimetableBuilder(name="chain")
+    ids = [builder.add_station(n) for n in "abcde"]
+    t = 100
+    for u, v in zip(ids, ids[1:]):
+        builder.add_trip([(u, t), (v, t + 10)])
+        builder.add_trip([(v, t + 1), (u, t + 11)])
+        t += 20
+    return build_station_graph(builder.build())
+
+
+class TestComputeViaStations:
+    def test_transfer_target_special_case(self, chain_graph):
+        mask = np.zeros(5, dtype=bool)
+        mask[2] = True
+        info = compute_via_stations(chain_graph, 2, mask)
+        assert info.local_stations == frozenset()
+        assert info.via_stations == frozenset({2})
+
+    def test_separator_found(self, chain_graph):
+        # Transfer station c separates {a, b} from {d, e}.
+        mask = np.zeros(5, dtype=bool)
+        mask[2] = True
+        info = compute_via_stations(chain_graph, 4, mask)  # target e
+        assert info.local_stations == frozenset({3})  # d
+        assert info.via_stations == frozenset({2})  # c
+
+    def test_no_transfer_stations_all_local(self, chain_graph):
+        mask = np.zeros(5, dtype=bool)
+        info = compute_via_stations(chain_graph, 4, mask)
+        assert info.via_stations == frozenset()
+        assert info.local_stations == frozenset({0, 1, 2, 3})
+
+    def test_multiple_via(self, chain_graph):
+        mask = np.zeros(5, dtype=bool)
+        mask[1] = mask[3] = True
+        info = compute_via_stations(chain_graph, 2, mask)  # target c
+        assert info.via_stations == frozenset({1, 3})
+        assert info.local_stations == frozenset()
+
+    def test_rejects_bad_mask_shape(self, chain_graph):
+        with pytest.raises(ValueError, match="mask"):
+            compute_via_stations(chain_graph, 0, np.zeros(3, dtype=bool))
+
+    def test_rejects_unknown_target(self, chain_graph):
+        with pytest.raises(ValueError, match="target"):
+            compute_via_stations(chain_graph, 99, np.zeros(5, dtype=bool))
+
+
+class TestClassify:
+    def test_local_when_reachable_without_transfer_station(self, chain_graph):
+        mask = np.zeros(5, dtype=bool)
+        mask[2] = True
+        info = compute_via_stations(chain_graph, 4, mask)
+        assert info.classify(3) == "local"
+        assert info.classify(4) == "local"  # target itself
+
+    def test_global_behind_separator(self, chain_graph):
+        mask = np.zeros(5, dtype=bool)
+        mask[2] = True
+        info = compute_via_stations(chain_graph, 4, mask)
+        assert info.classify(0) == "global"
+        assert info.classify(2) == "global"  # the via station itself
+
+
+def test_via_separates_on_instance(oahu_tiny, oahu_tiny_graph):
+    """Every global path must cross a via station: removing via(T) from
+    the station graph disconnects all non-local stations from T."""
+    from repro.query.transfer_selection import select_transfer_stations
+
+    sg = build_station_graph(oahu_tiny)
+    stations = select_transfer_stations(oahu_tiny, method="contraction", fraction=0.25)
+    mask = np.zeros(oahu_tiny.num_stations, dtype=bool)
+    mask[stations] = True
+    target = int(np.nonzero(~mask)[0][0])
+    info = compute_via_stations(sg, target, mask)
+    blocked = set(info.via_stations)
+    # BFS to target on the reverse graph avoiding via stations must stay
+    # within local(T) ∪ {T}.
+    seen = {target}
+    stack = [target]
+    while stack:
+        s = stack.pop()
+        for pred in sg.predecessors(s):
+            pred = int(pred)
+            if pred not in seen and pred not in blocked:
+                seen.add(pred)
+                stack.append(pred)
+    assert seen - {target} == set(info.local_stations)

@@ -1,0 +1,45 @@
+"""Unit tests for query workload generation."""
+
+import pytest
+
+from repro.synthetic.workloads import random_sources, random_station_pairs
+from repro.timetable.types import Timetable
+
+
+class TestRandomSources:
+    def test_count_and_range(self, toy):
+        sources = random_sources(toy, 20, seed=1)
+        assert len(sources) == 20
+        assert all(0 <= s < toy.num_stations for s in sources)
+
+    def test_deterministic(self, toy):
+        assert random_sources(toy, 10, seed=2) == random_sources(toy, 10, seed=2)
+
+    def test_seed_matters(self, toy):
+        assert random_sources(toy, 10, seed=1) != random_sources(toy, 10, seed=99)
+
+    def test_empty_timetable_rejected(self):
+        empty = Timetable(stations=[], trains=[], connections=[])
+        with pytest.raises(ValueError, match="station"):
+            random_sources(empty, 1)
+
+
+class TestRandomStationPairs:
+    def test_distinct_endpoints(self, toy):
+        pairs = random_station_pairs(toy, 30, seed=0)
+        assert len(pairs) == 30
+        assert all(s != t for s, t in pairs)
+
+    def test_deterministic(self, toy):
+        assert random_station_pairs(toy, 5, seed=3) == random_station_pairs(
+            toy, 5, seed=3
+        )
+
+    def test_needs_two_stations(self):
+        single = Timetable(
+            stations=[__import__("repro.timetable.types", fromlist=["Station"]).Station(0, "x")],
+            trains=[],
+            connections=[],
+        )
+        with pytest.raises(ValueError, match="two stations"):
+            random_station_pairs(single, 1)

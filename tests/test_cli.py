@@ -1,0 +1,82 @@
+"""End-to-end tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerateAndInfo:
+    def test_generate_then_info(self, tmp_path, capsys):
+        feed = tmp_path / "feed"
+        assert main([
+            "generate", "--instance", "oahu", "--scale", "tiny",
+            "--output", str(feed),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert (feed / "stops.txt").exists()
+
+        assert main(["info", "--gtfs", str(feed)]) == 0
+        out = capsys.readouterr().out
+        assert "stations" in out and "route" in out
+
+    def test_info_instance(self, capsys):
+        assert main(["info", "--instance", "germany", "--scale", "tiny"]) == 0
+        assert "germany" in capsys.readouterr().out
+
+
+class TestProfileCommand:
+    def test_profile_to_single_target(self, capsys):
+        assert main([
+            "profile", "--instance", "oahu", "--scale", "tiny",
+            "--source", "0", "--target", "3", "--cores", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "one-to-all from station 0" in out
+        assert "to    3" in out
+
+
+class TestQueryCommand:
+    def test_plain_query(self, capsys):
+        assert main([
+            "query", "--instance", "oahu", "--scale", "tiny",
+            "--source", "0", "--target", "5", "--cores", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 → 5" in out
+        assert "depart" in out
+
+    def test_query_with_table(self, capsys):
+        assert main([
+            "query", "--instance", "oahu", "--scale", "tiny",
+            "--source", "0", "--target", "5", "--cores", "2",
+            "--transfer-fraction", "0.3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "distance table" in out
+
+
+class TestTableCommands:
+    def test_table1(self, capsys):
+        assert main([
+            "table1", "--instance", "oahu", "--scale", "tiny", "--queries", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "spd-up" in out and "LC" in out
+
+    def test_table2(self, capsys):
+        assert main([
+            "table2", "--instance", "oahu", "--scale", "tiny", "--queries", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "prepro" in out
+
+
+class TestArgumentValidation:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_instance_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["info", "--instance", "narnia"])

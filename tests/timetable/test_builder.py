@@ -1,0 +1,109 @@
+"""Unit tests for the timetable builder."""
+
+import pytest
+
+from repro.timetable.builder import TimetableBuilder
+
+
+class TestAddStation:
+    def test_dense_ids(self):
+        builder = TimetableBuilder()
+        assert builder.add_station("a") == 0
+        assert builder.add_station("b") == 1
+
+    def test_auto_names(self):
+        builder = TimetableBuilder()
+        sid = builder.add_station()
+        assert builder.station_id(f"station-{sid}") == sid
+
+    def test_existing_name_returns_same_id(self):
+        builder = TimetableBuilder()
+        first = builder.add_station("x", transfer_time=3)
+        assert builder.add_station("x", transfer_time=3) == first
+
+    def test_existing_name_transfer_conflict(self):
+        builder = TimetableBuilder()
+        builder.add_station("x", transfer_time=3)
+        with pytest.raises(ValueError, match="transfer"):
+            builder.add_station("x", transfer_time=7)
+
+    def test_station_id_unknown(self):
+        with pytest.raises(KeyError, match="unknown"):
+            TimetableBuilder().station_id("nope")
+
+
+class TestAddConnection:
+    def test_normalizes_departure_into_period(self):
+        builder = TimetableBuilder()
+        a, b = builder.add_station("a"), builder.add_station("b")
+        t = builder.add_train()
+        builder.add_connection(t, a, b, 1500, 1520)
+        tt = builder.build()
+        assert tt.connections[0].dep_time == 60
+        assert tt.connections[0].duration == 20
+
+    def test_rejects_unknown_train(self):
+        builder = TimetableBuilder()
+        a, b = builder.add_station("a"), builder.add_station("b")
+        with pytest.raises(ValueError, match="train"):
+            builder.add_connection(5, a, b, 0, 10)
+
+    def test_rejects_unknown_station(self):
+        builder = TimetableBuilder()
+        builder.add_station("a")
+        t = builder.add_train()
+        with pytest.raises(ValueError, match="station"):
+            builder.add_connection(t, 0, 9, 0, 10)
+
+
+class TestAddTrip:
+    def test_creates_chained_connections(self):
+        builder = TimetableBuilder()
+        a, b, c = (builder.add_station(n) for n in "abc")
+        train = builder.add_trip([(a, 100), (b, 120), (c, 135)])
+        tt = builder.build()
+        own = [x for x in tt.connections if x.train == train]
+        assert [(x.dep_station, x.arr_station) for x in own] == [(0, 1), (1, 2)]
+        assert [x.duration for x in own] == [20, 15]
+
+    def test_rejects_single_stop(self):
+        builder = TimetableBuilder()
+        a = builder.add_station("a")
+        with pytest.raises(ValueError, match="at least 2"):
+            builder.add_trip([(a, 100)])
+
+    def test_rejects_time_travel(self):
+        builder = TimetableBuilder()
+        a, b = builder.add_station("a"), builder.add_station("b")
+        with pytest.raises(ValueError, match="forward in time"):
+            builder.add_trip([(a, 100), (b, 100)])
+
+    def test_midnight_crossing_trip(self):
+        builder = TimetableBuilder()
+        a, b = builder.add_station("a"), builder.add_station("b")
+        builder.add_trip([(a, 1435), (b, 1450)])
+        tt = builder.build()
+        assert tt.connections[0].dep_time == 1435
+        assert tt.connections[0].arr_time == 1450  # absolute, past midnight
+
+
+class TestBuild:
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError, match="period"):
+            TimetableBuilder(period=0)
+
+    def test_skip_validation(self):
+        builder = TimetableBuilder()
+        a, b = builder.add_station("a"), builder.add_station("b")
+        builder.add_trip([(a, 100), (b, 160)])
+        builder.add_trip([(a, 110), (b, 140)])  # overtakes: non-FIFO
+        tt = builder.build(validate=False)
+        assert tt.num_connections == 2
+
+    def test_name_and_period_propagate(self):
+        builder = TimetableBuilder(period=720, name="half-day")
+        a, b = builder.add_station("a"), builder.add_station("b")
+        builder.add_trip([(a, 100), (b, 110)])
+        tt = builder.build()
+        assert tt.period == 720
+        assert tt.name == "half-day"

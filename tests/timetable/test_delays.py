@@ -1,0 +1,161 @@
+"""Tests for the fully dynamic scenario: delay injection (paper §5.1)."""
+
+import pytest
+
+from repro.baselines.label_correcting import label_correcting_profile
+from repro.baselines.time_query import time_query
+from repro.core.spcs import spcs_profile_search
+from repro.graph.td_model import build_td_graph
+from repro.timetable.delays import Delay, apply_delays, train_lateness_profile
+from repro.timetable.validation import validate_timetable
+
+from tests.helpers import toy_timetable
+
+
+class TestDelayDataclass:
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Delay(train=0, minutes=-5)
+
+    def test_rejects_negative_stop(self):
+        with pytest.raises(ValueError, match="from_stop"):
+            Delay(train=0, minutes=5, from_stop=-1)
+
+
+class TestApplyDelays:
+    def test_shifts_whole_run(self):
+        tt = toy_timetable()
+        delayed = apply_delays(tt, [Delay(train=0, minutes=7)])
+        assert train_lateness_profile(tt, delayed, 0) == [7, 7]
+        # Other trains untouched.
+        assert train_lateness_profile(tt, delayed, 1) == [0, 0]
+
+    def test_mid_run_delay(self):
+        tt = toy_timetable()
+        delayed = apply_delays(tt, [Delay(train=0, minutes=9, from_stop=1)])
+        assert train_lateness_profile(tt, delayed, 0) == [0, 9]
+
+    def test_slack_recovery(self):
+        tt = toy_timetable()
+        delayed = apply_delays(
+            tt, [Delay(train=0, minutes=5)], slack_per_leg=3
+        )
+        # Leg 0 departs 5 late; leg 1 recovered 3 → 2 late.
+        assert train_lateness_profile(tt, delayed, 0) == [5, 2]
+
+    def test_slack_never_goes_negative(self):
+        tt = toy_timetable()
+        delayed = apply_delays(
+            tt, [Delay(train=0, minutes=2)], slack_per_leg=10
+        )
+        assert train_lateness_profile(tt, delayed, 0) == [2, 0]
+
+    def test_multiple_delays_accumulate(self):
+        tt = toy_timetable()
+        delayed = apply_delays(
+            tt,
+            [Delay(train=0, minutes=4, from_stop=0), Delay(train=0, minutes=6, from_stop=1)],
+        )
+        assert train_lateness_profile(tt, delayed, 0) == [4, 10]
+
+    def test_original_untouched(self):
+        tt = toy_timetable()
+        snapshot = list(tt.connections)
+        apply_delays(tt, [Delay(train=0, minutes=30)])
+        assert tt.connections == snapshot
+
+    def test_unknown_train_rejected(self):
+        with pytest.raises(ValueError, match="unknown train"):
+            apply_delays(toy_timetable(), [Delay(train=999, minutes=1)])
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ValueError, match="slack"):
+            apply_delays(toy_timetable(), [], slack_per_leg=-1)
+
+    def test_result_is_structurally_valid(self):
+        tt = toy_timetable()
+        delayed = apply_delays(tt, [Delay(train=0, minutes=45)])
+        # Delays can break FIFO between sibling trains — structural
+        # validity without the FIFO requirement must hold.
+        validate_timetable(delayed, require_fifo=False)
+
+    def test_delay_past_midnight_wraps(self):
+        from repro.timetable.builder import TimetableBuilder
+
+        builder = TimetableBuilder()
+        a, b = builder.add_station("a"), builder.add_station("b")
+        builder.add_trip([(a, 1430), (b, 1439)])
+        tt = builder.build()
+        delayed = apply_delays(tt, [Delay(train=0, minutes=30)])
+        assert delayed.connections[0].dep_time == 20  # 00:20 next day
+        validate_timetable(delayed, require_fifo=False)
+
+
+class TestQueriesUnderDelays:
+    def test_no_preprocessing_needed(self):
+        """The paper's dynamic-scenario claim: after a delay, rebuild the
+        graph and query — no auxiliary data to repair."""
+        tt = toy_timetable()
+        graph = build_td_graph(tt)
+        before = time_query(graph, 0, 480).arrival_at_station(2)
+        assert before == 510  # 08:00 train arrives C 08:30
+
+        # The 08:00 A→B→C train (train 0) is 25 minutes late.
+        delayed_graph = build_td_graph(apply_delays(tt, [Delay(train=0, minutes=25)]))
+        after = time_query(delayed_graph, 0, 480).arrival_at_station(2)
+        # Now: delayed train departs 08:25, arrives C 08:55 — still the
+        # best option (next regular train 08:30 arrives 09:00).
+        assert after == 535
+
+    def test_spcs_equals_lc_on_delayed_network(self):
+        tt = toy_timetable()
+        delayed = apply_delays(
+            tt,
+            [Delay(train=0, minutes=25), Delay(train=9, minutes=13, from_stop=0)],
+        )
+        graph = build_td_graph(delayed)
+        spcs = spcs_profile_search(graph, 0)
+        lc = label_correcting_profile(graph, 0)
+        for station in range(graph.num_stations):
+            assert spcs.profile(station) == lc.profile(station, delayed.period)
+
+    def test_delay_bounded_by_train_removal(self, oahu_tiny):
+        """The sound monotonicity statement: journeys avoiding the
+        delayed train are untouched, so the delayed network can never be
+        *worse* than the network with the train removed outright.  (A
+        naive "delays only hurt" claim is false both ways: later
+        departures may newly catch the delayed train, and mid-run
+        connections shift.)"""
+        from repro.timetable.types import Timetable
+
+        victim = 5
+        delayed = apply_delays(oahu_tiny, [Delay(train=victim, minutes=40)])
+        without = Timetable(
+            stations=list(oahu_tiny.stations),
+            trains=list(oahu_tiny.trains),
+            connections=[
+                c for c in oahu_tiny.connections if c.train != victim
+            ],
+            period=oahu_tiny.period,
+            name="without-victim",
+        )
+        delayed_graph = build_td_graph(delayed)
+        removed_graph = build_td_graph(without)
+        for departure in (0, 430, 1000):
+            with_delay = time_query(delayed_graph, 0, departure)
+            with_removal = time_query(removed_graph, 0, departure)
+            for station in range(oahu_tiny.num_stations):
+                assert with_delay.arrival_at_station(
+                    station
+                ) <= with_removal.arrival_at_station(station)
+
+    def test_delay_can_help_later_departures(self):
+        """The flip side: a big delay turns a missed train into a
+        catchable one."""
+        tt = toy_timetable()
+        graph = build_td_graph(tt)
+        # Depart A at 08:05: the 08:00 train is gone; next at 08:30.
+        assert time_query(graph, 0, 485).arrival_at_station(1) == 525
+        # Delay the 08:00 train (train 0) by 10 minutes → departs 08:10.
+        delayed_graph = build_td_graph(apply_delays(tt, [Delay(train=0, minutes=10)]))
+        assert time_query(delayed_graph, 0, 485).arrival_at_station(1) == 505

@@ -1,0 +1,113 @@
+"""Unit tests for the GTFS-like reader/writer."""
+
+import pytest
+
+from repro.timetable.gtfs import load_gtfs, save_gtfs
+from repro.timetable.routes import train_station_sequences
+
+from tests.helpers import toy_timetable
+
+
+def _write_minimal_feed(root):
+    (root / "stops.txt").write_text(
+        "stop_id,stop_name,min_transfer_time\nS0,Alpha,3\nS1,Beta,5\n"
+    )
+    (root / "trips.txt").write_text("trip_id,trip_name\nT0,morning\n")
+    (root / "stop_times.txt").write_text(
+        "trip_id,stop_sequence,stop_id,departure_time\n"
+        "T0,0,S0,08:00\nT0,1,S1,08:25\n"
+    )
+
+
+class TestLoadGtfs:
+    def test_minimal_feed(self, tmp_path):
+        _write_minimal_feed(tmp_path)
+        tt = load_gtfs(tmp_path)
+        assert tt.num_stations == 2
+        assert tt.num_connections == 1
+        assert tt.connections[0].dep_time == 480
+        assert tt.connections[0].duration == 25
+        assert tt.stations[0].transfer_time == 3
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="not found"):
+            load_gtfs(tmp_path / "nope")
+
+    def test_missing_file(self, tmp_path):
+        (tmp_path / "stops.txt").write_text("stop_id,stop_name\n")
+        with pytest.raises(FileNotFoundError, match="trips.txt"):
+            load_gtfs(tmp_path)
+
+    def test_unknown_trip_reference(self, tmp_path):
+        _write_minimal_feed(tmp_path)
+        (tmp_path / "stop_times.txt").write_text(
+            "trip_id,stop_sequence,stop_id,departure_time\nTX,0,S0,08:00\nTX,1,S1,08:10\n"
+        )
+        with pytest.raises(ValueError, match="unknown trip"):
+            load_gtfs(tmp_path)
+
+    def test_unknown_stop_reference(self, tmp_path):
+        _write_minimal_feed(tmp_path)
+        (tmp_path / "stop_times.txt").write_text(
+            "trip_id,stop_sequence,stop_id,departure_time\nT0,0,S0,08:00\nT0,1,SX,08:10\n"
+        )
+        with pytest.raises(ValueError, match="unknown stop"):
+            load_gtfs(tmp_path)
+
+    def test_after_midnight_hours(self, tmp_path):
+        _write_minimal_feed(tmp_path)
+        (tmp_path / "stop_times.txt").write_text(
+            "trip_id,stop_sequence,stop_id,departure_time\n"
+            "T0,0,S0,23:50\nT0,1,S1,24:10\n"
+        )
+        tt = load_gtfs(tmp_path)
+        assert tt.connections[0].dep_time == 1430
+        assert tt.connections[0].duration == 20
+
+    def test_stop_sequence_ordering(self, tmp_path):
+        """Rows may be listed out of order; stop_sequence governs."""
+        _write_minimal_feed(tmp_path)
+        (tmp_path / "stop_times.txt").write_text(
+            "trip_id,stop_sequence,stop_id,departure_time\n"
+            "T0,1,S1,08:25\nT0,0,S0,08:00\n"
+        )
+        tt = load_gtfs(tmp_path)
+        assert tt.connections[0].dep_station == 0
+
+
+class TestRoundTrip:
+    def test_toy_roundtrip(self, tmp_path):
+        original = toy_timetable()
+        save_gtfs(original, tmp_path / "feed")
+        loaded = load_gtfs(tmp_path / "feed")
+        assert loaded.num_stations == original.num_stations
+        assert loaded.num_trains == original.num_trains
+        assert loaded.num_connections == original.num_connections
+        original_set = {
+            (c.dep_station, c.arr_station, c.dep_time, c.duration)
+            for c in original.connections
+        }
+        loaded_set = {
+            (c.dep_station, c.arr_station, c.dep_time, c.duration)
+            for c in loaded.connections
+        }
+        assert original_set == loaded_set
+
+    def test_midnight_wrap_roundtrip(self, tmp_path):
+        from repro.timetable.builder import TimetableBuilder
+
+        builder = TimetableBuilder(name="wrap")
+        a, b, c = (builder.add_station(n) for n in "abc")
+        builder.add_trip([(a, 1430), (b, 1445), (c, 1470)])
+        original = builder.build()
+        save_gtfs(original, tmp_path / "feed")
+        loaded = load_gtfs(tmp_path / "feed")
+        assert train_station_sequences(loaded)[0] == (0, 1, 2)
+        assert loaded.connections[0].dep_time == 1430
+        assert loaded.connections[1].dep_time == 5
+
+    def test_instance_roundtrip(self, tmp_path, germany_tiny):
+        save_gtfs(germany_tiny, tmp_path / "feed")
+        loaded = load_gtfs(tmp_path / "feed")
+        assert loaded.num_connections == germany_tiny.num_connections
+        assert loaded.num_stations == germany_tiny.num_stations

@@ -1,0 +1,45 @@
+"""Unit tests for JSON timetable serialization."""
+
+import pytest
+
+from repro.timetable.io import (
+    load_timetable,
+    save_timetable,
+    timetable_from_dict,
+    timetable_to_dict,
+)
+
+from tests.helpers import toy_timetable
+
+
+class TestDictRoundTrip:
+    def test_lossless(self):
+        original = toy_timetable()
+        restored = timetable_from_dict(timetable_to_dict(original))
+        assert restored.name == original.name
+        assert restored.period == original.period
+        assert restored.stations == original.stations
+        assert restored.trains == original.trains
+        assert restored.connections == original.connections
+
+    def test_version_check(self):
+        data = timetable_to_dict(toy_timetable())
+        data["format_version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            timetable_from_dict(data)
+
+
+class TestFileRoundTrip:
+    def test_save_load(self, tmp_path):
+        original = toy_timetable()
+        path = tmp_path / "toy.json"
+        save_timetable(original, path)
+        restored = load_timetable(path)
+        assert restored.connections == original.connections
+
+    def test_instance_roundtrip(self, tmp_path, oahu_tiny):
+        path = tmp_path / "oahu.json"
+        save_timetable(oahu_tiny, path)
+        restored = load_timetable(path)
+        assert restored.num_connections == oahu_tiny.num_connections
+        assert restored.stations == oahu_tiny.stations

@@ -1,0 +1,118 @@
+"""Unit and property tests for periodic time arithmetic (paper §2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.timetable.periodic import (
+    DAY_MINUTES,
+    PeriodicTime,
+    delta,
+    format_time,
+    normalize,
+    parse_time,
+)
+
+
+class TestDelta:
+    def test_forward(self):
+        assert delta(100, 160) == 60
+
+    def test_same_instant_is_zero(self):
+        assert delta(700, 700) == 0
+
+    def test_wraps_past_midnight(self):
+        assert delta(1400, 20) == 60
+
+    def test_not_symmetric(self):
+        assert delta(100, 160) == 60
+        assert delta(160, 100) == 1440 - 60
+
+    def test_accepts_absolute_times(self):
+        assert delta(1500, 1560) == 60
+        assert delta(1500, 60) == 0
+
+    def test_custom_period(self):
+        assert delta(9, 1, period=10) == 2
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError, match="period"):
+            delta(0, 1, period=0)
+
+    @given(
+        tau1=st.integers(min_value=0, max_value=10 * DAY_MINUTES),
+        tau2=st.integers(min_value=0, max_value=10 * DAY_MINUTES),
+    )
+    def test_result_in_period(self, tau1, tau2):
+        assert 0 <= delta(tau1, tau2) < DAY_MINUTES
+
+    @given(
+        tau=st.integers(min_value=0, max_value=10 * DAY_MINUTES),
+        advance=st.integers(min_value=0, max_value=DAY_MINUTES - 1),
+    )
+    def test_delta_inverts_shift(self, tau, advance):
+        assert delta(tau, tau + advance) == advance
+
+
+class TestNormalize:
+    def test_identity_within_period(self):
+        assert normalize(77) == 77
+
+    def test_reduces_absolute(self):
+        assert normalize(1500) == 60
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError, match="period"):
+            normalize(5, period=-1)
+
+
+class TestParseFormat:
+    @pytest.mark.parametrize(
+        "text,minutes",
+        [("00:00", 0), ("08:30", 510), ("23:59", 1439), ("25:15", 1515)],
+    )
+    def test_parse(self, text, minutes):
+        assert parse_time(text) == minutes
+
+    def test_parse_with_seconds(self):
+        assert parse_time("08:30:45") == 510
+
+    @pytest.mark.parametrize("text", ["8h30", "08:61", "-1:00", "junk", "08"])
+    def test_parse_rejects_garbage(self, text):
+        with pytest.raises(ValueError):
+            parse_time(text)
+
+    def test_format(self):
+        assert format_time(510) == "08:30"
+
+    def test_format_past_midnight(self):
+        assert format_time(1515) == "25:15"
+
+    def test_format_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_time(-1)
+
+    @given(st.integers(min_value=0, max_value=3 * DAY_MINUTES))
+    def test_roundtrip(self, minutes):
+        assert parse_time(format_time(minutes)) == minutes
+
+
+class TestPeriodicTime:
+    def test_normalizes_on_construction(self):
+        assert PeriodicTime(1500).value == 60
+
+    def test_until(self):
+        assert PeriodicTime(1400).until(PeriodicTime(20)) == 60
+
+    def test_until_accepts_int(self):
+        assert PeriodicTime(100).until(160) == 60
+
+    def test_shifted_wraps(self):
+        assert PeriodicTime(1430).shifted(20).value == 10
+
+    def test_str(self):
+        assert str(PeriodicTime(510)) == "08:30"
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            PeriodicTime(0, period=0)

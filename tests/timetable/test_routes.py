@@ -1,0 +1,117 @@
+"""Unit tests for route partitioning (paper §2)."""
+
+import pytest
+
+from repro.timetable.builder import TimetableBuilder
+from repro.timetable.routes import (
+    connections_by_route_leg,
+    partition_routes,
+    train_station_sequences,
+)
+from repro.timetable.types import Connection, Station, Timetable, Train
+
+
+def _simple_timetable():
+    builder = TimetableBuilder(name="routes")
+    a, b, c = (builder.add_station(n) for n in "abc")
+    builder.add_trip([(a, 100), (b, 110), (c, 125)], name="t0")
+    builder.add_trip([(a, 200), (b, 215), (c, 230)], name="t1")  # same sequence
+    builder.add_trip([(c, 300), (b, 310), (a, 330)], name="t2")  # reverse
+    builder.add_trip([(a, 400), (c, 420)], name="t3")  # express, skips b
+    return builder.build()
+
+
+class TestTrainStationSequences:
+    def test_sequences(self):
+        tt = _simple_timetable()
+        seqs = train_station_sequences(tt)
+        assert seqs[0] == (0, 1, 2)
+        assert seqs[1] == (0, 1, 2)
+        assert seqs[2] == (2, 1, 0)
+        assert seqs[3] == (0, 2)
+
+    def test_broken_chain_detected(self):
+        tt = Timetable(
+            stations=[Station(0, "a"), Station(1, "b"), Station(2, "c")],
+            trains=[Train(0)],
+            connections=[
+                Connection(train=0, dep_station=0, arr_station=1, dep_time=10, arr_time=20),
+                Connection(train=0, dep_station=2, arr_station=0, dep_time=30, arr_time=40),
+            ],
+        )
+        with pytest.raises(ValueError, match="previous stop"):
+            train_station_sequences(tt)
+
+    def test_midnight_wrap_keeps_travel_order(self):
+        """A trip crossing midnight has a *smaller* normalized departure
+        on its late legs; travel order must come from list order."""
+        builder = TimetableBuilder(name="wrap")
+        a, b, c = (builder.add_station(n) for n in "abc")
+        builder.add_trip([(a, 1430), (b, 1445), (c, 1460)], name="night")
+        tt = builder.build()
+        assert train_station_sequences(tt)[0] == (0, 1, 2)
+        # The stored departures are normalized into Π (two legs).
+        deps = [c_.dep_time for c_ in tt.connections]
+        assert deps == [1430, 5]
+
+
+class TestPartitionRoutes:
+    def test_groups_equal_sequences(self):
+        routes = partition_routes(_simple_timetable())
+        by_trains = {route.trains: route.stations for route in routes}
+        assert by_trains[(0, 1)] == (0, 1, 2)
+        assert by_trains[(2,)] == (2, 1, 0)
+        assert by_trains[(3,)] == (0, 2)
+
+    def test_route_ids_dense(self):
+        routes = partition_routes(_simple_timetable())
+        assert [r.id for r in routes] == list(range(len(routes)))
+
+    def test_deterministic(self):
+        tt = _simple_timetable()
+        first = partition_routes(tt)
+        second = partition_routes(tt)
+        assert [(r.stations, r.trains) for r in first] == [
+            (r.stations, r.trains) for r in second
+        ]
+
+    def test_reverse_direction_is_distinct_route(self, toy):
+        routes = partition_routes(toy)
+        sequences = {r.stations for r in routes}
+        assert (0, 1, 2) in sequences
+        assert (0, 3) in sequences
+
+
+class TestConnectionsByRouteLeg:
+    def test_every_connection_assigned_once(self):
+        tt = _simple_timetable()
+        routes = partition_routes(tt)
+        legs = connections_by_route_leg(tt, routes)
+        total = sum(len(v) for v in legs.values())
+        assert total == tt.num_connections
+
+    def test_leg_contents_sorted_by_departure(self):
+        tt = _simple_timetable()
+        legs = connections_by_route_leg(tt, partition_routes(tt))
+        for conns in legs.values():
+            deps = [c.dep_time for c in conns]
+            assert deps == sorted(deps)
+
+    def test_legs_match_route_stations(self):
+        tt = _simple_timetable()
+        routes = partition_routes(tt)
+        legs = connections_by_route_leg(tt, routes)
+        for (route_id, leg), conns in legs.items():
+            route = routes[route_id]
+            for c in conns:
+                assert c.dep_station == route.stations[leg]
+                assert c.arr_station == route.stations[leg + 1]
+
+    def test_unknown_train_rejected(self):
+        tt = _simple_timetable()
+        routes = partition_routes(tt)
+        tt.connections.append(
+            Connection(train=99, dep_station=0, arr_station=1, dep_time=0, arr_time=1)
+        )
+        with pytest.raises(ValueError, match="unknown train"):
+            connections_by_route_leg(tt, routes)
