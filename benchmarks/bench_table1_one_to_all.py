@@ -2,13 +2,20 @@
 
 CS (parallel self-pruning connection-setting) on 1, 2, 4 and 8
 simulated cores vs the label-correcting baseline (LC), on all five
-instances.  Reported per cell: mean settled connections (summed over
-cores), mean simulated time, and speed-up over the 1-core run — the
-same columns as the paper's Table 1.
+instances — and, new to this repo, on both execution kernels:
+``python`` (the reference object-graph SPCS, the seed implementation)
+and ``flat`` (the packed flat-array kernel of
+:mod:`repro.core.spcs_kernel`).  Reported per cell: mean settled
+connections (summed over cores), mean simulated time, and speed-up over
+the CS[python] 1-core run — so the kernel's speedup is measured, not
+asserted (the acceptance bar is ≥3× one-to-all on the default
+instances).
 
 Expected shape (paper): CS settles ~6–15× fewer connections than LC and
 wins wall-clock by a smaller factor; settled counts grow mildly with p
 (cross-thread self-pruning is lost), worst on the sparse rail instance.
+The two kernels settle slightly different counts on exact arrival ties
+(queue tie-breaking) while producing identical profiles.
 """
 
 from __future__ import annotations
@@ -20,14 +27,15 @@ import pytest
 
 from repro.analysis.formatting import format_table
 from repro.baselines.label_correcting import label_correcting_profile
-from repro.core.parallel import parallel_profile_search
+from repro.core.parallel import KERNELS, parallel_profile_search
+from repro.graph.td_arrays import packed_arrays
 from repro.synthetic.workloads import random_sources
 
 from benchmarks.conftest import ALL_INSTANCES, CORE_COUNTS
 
 NUM_QUERIES = 3
 
-_cells: dict[tuple[str, object], dict] = {}
+_cells: dict[tuple[str, object, object], dict] = {}
 
 
 def _sources(graph):
@@ -36,19 +44,23 @@ def _sources(graph):
 
 @pytest.mark.parametrize("instance", ALL_INSTANCES)
 @pytest.mark.parametrize("cores", CORE_COUNTS)
-def test_cs_one_to_all(benchmark, graphs, report, instance, cores):
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_cs_one_to_all(benchmark, graphs, report, instance, cores, kernel):
     graph = graphs.graph(instance)
     sources = _sources(graph)
+    if kernel == "flat":
+        packed_arrays(graph).kernel_adjacency()  # pay packing once, not per query
 
     def run():
         return [
-            parallel_profile_search(graph, s, cores) for s in sources
+            parallel_profile_search(graph, s, cores, kernel=kernel)
+            for s in sources
         ]
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     settled = fmean(r.stats.settled_connections for r in results)
     simulated = fmean(r.stats.simulated_time for r in results)
-    _cells[(instance, cores)] = {"settled": settled, "time": simulated}
+    _cells[(instance, kernel, cores)] = {"settled": settled, "time": simulated}
     _maybe_emit(report, instance)
 
 
@@ -66,7 +78,7 @@ def test_lc_one_to_all(benchmark, graphs, report, instance):
         return out
 
     stats = benchmark.pedantic(run, rounds=1, iterations=1)
-    _cells[(instance, "LC")] = {
+    _cells[(instance, "LC", None)] = {
         "settled": fmean(s for s, _ in stats),
         "time": fmean(t for _, t in stats),
     }
@@ -75,23 +87,27 @@ def test_lc_one_to_all(benchmark, graphs, report, instance):
 
 def _maybe_emit(report, instance):
     """Emit the instance's Table 1 block once all its cells are in."""
-    keys = [(instance, p) for p in CORE_COUNTS] + [(instance, "LC")]
+    keys = [
+        (instance, kernel, p) for kernel in KERNELS for p in CORE_COUNTS
+    ] + [(instance, "LC", None)]
     if not all(k in _cells for k in keys):
         return
-    base_time = _cells[(instance, 1)]["time"]
+    # Speed-ups are relative to the seed implementation: CS[python], 1 core.
+    base_time = _cells[(instance, "python", 1)]["time"]
     rows = []
-    for p in CORE_COUNTS:
-        cell = _cells[(instance, p)]
-        rows.append(
-            [
-                "CS",
-                p,
-                f"{cell['settled']:,.0f}",
-                f"{cell['time'] * 1000:.1f}",
-                f"{base_time / cell['time']:.1f}" if cell["time"] else "inf",
-            ]
-        )
-    lc = _cells[(instance, "LC")]
+    for kernel in KERNELS:
+        for p in CORE_COUNTS:
+            cell = _cells[(instance, kernel, p)]
+            rows.append(
+                [
+                    f"CS[{kernel}]",
+                    p,
+                    f"{cell['settled']:,.0f}",
+                    f"{cell['time'] * 1000:.1f}",
+                    f"{base_time / cell['time']:.1f}" if cell["time"] else "inf",
+                ]
+            )
+    lc = _cells[(instance, "LC", None)]
     rows.append(["LC", 1, f"{lc['settled']:,.0f}", f"{lc['time'] * 1000:.1f}", "—"])
     table = format_table(
         ["algo", "p", "settled conns", "time [ms]", "spd-up"], rows

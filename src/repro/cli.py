@@ -6,8 +6,13 @@ Subcommands::
     info       summarize a timetable (stations, connections, density)
     profile    one-to-all profile query from a station
     query      station-to-station profile query
+    batch      run a batched random query workload (throughput check)
     table1     regenerate Table 1 rows for an instance
     table2     regenerate Table 2 rows for an instance
+
+``profile``, ``query`` and ``batch`` accept ``--kernel {python,flat}``:
+``python`` is the reference object-graph SPCS, ``flat`` the packed
+flat-array kernel (identical results, several times faster).
 
 Timetables are read either from a GTFS-like directory (``--gtfs DIR``)
 or generated on the fly (``--instance NAME [--scale SCALE]``).
@@ -19,13 +24,16 @@ import argparse
 import sys
 
 from repro.analysis import render_table1, render_table2, run_table1, run_table2
-from repro.core import parallel_profile_search
+from repro.core import KERNELS, parallel_profile_search
 from repro.graph import build_td_graph
 from repro.query import (
+    BATCH_BACKENDS,
+    BatchQueryEngine,
     StationToStationEngine,
     build_distance_table,
     select_transfer_stations,
 )
+from repro.synthetic.workloads import random_station_pairs
 from repro.synthetic import INSTANCE_NAMES, make_instance
 from repro.timetable.gtfs import load_gtfs, save_gtfs
 from repro.timetable.periodic import format_time
@@ -75,7 +83,9 @@ def _cmd_info(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     timetable = _load(args)
     graph = build_td_graph(timetable)
-    result = parallel_profile_search(graph, args.source, args.cores)
+    result = parallel_profile_search(
+        graph, args.source, args.cores, kernel=args.kernel
+    )
     stats = result.stats
     print(
         f"one-to-all from station {args.source} on {args.cores} cores: "
@@ -98,20 +108,29 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_table(args: argparse.Namespace, timetable: Timetable, graph):
+    """Distance table for the ``--transfer-fraction`` option (shared by
+    ``query`` and ``batch``); None when the option is off."""
+    if args.transfer_fraction <= 0:
+        return None
+    stations = select_transfer_stations(
+        timetable, method="contraction", fraction=args.transfer_fraction
+    )
+    table = build_distance_table(graph, stations, num_threads=args.cores)
+    print(
+        f"distance table over {stations.size} transfer stations "
+        f"({table.size_mib():.2f} MiB, built in {table.build_seconds:.1f} s)"
+    )
+    return table
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     timetable = _load(args)
     graph = build_td_graph(timetable)
-    table = None
-    if args.transfer_fraction > 0:
-        stations = select_transfer_stations(
-            timetable, method="contraction", fraction=args.transfer_fraction
-        )
-        table = build_distance_table(graph, stations, num_threads=args.cores)
-        print(
-            f"distance table over {stations.size} transfer stations "
-            f"({table.size_mib():.2f} MiB, built in {table.build_seconds:.1f} s)"
-        )
-    engine = StationToStationEngine(graph, table, num_threads=args.cores)
+    table = _build_table(args, timetable, graph)
+    engine = StationToStationEngine(
+        graph, table, num_threads=args.cores, kernel=args.kernel
+    )
     result = engine.query(args.source, args.target)
     print(
         f"{args.source} → {args.target} ({result.classification}): "
@@ -122,6 +141,40 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print("  no connections found (target unreachable)")
     for dep, dur in result.profile.connection_points():
         print(f"  depart {format_time(dep)}  arrive {format_time(dep + dur)}  ({dur} min)")
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    timetable = _load(args)
+    graph = build_td_graph(timetable)
+    table = _build_table(args, timetable, graph)
+    pairs = random_station_pairs(timetable, args.n_queries, seed=args.seed)
+    engine = BatchQueryEngine(
+        graph,
+        table,
+        kernel=args.kernel,
+        backend=args.backend,
+        workers=args.workers,
+        num_threads=args.cores,
+    )
+    batch = engine.query_many(pairs)
+    stats = batch.stats
+    settled = sum(r.settled_connections for r in batch)
+    print(
+        f"{stats.num_queries} queries on kernel={stats.kernel} "
+        f"backend={stats.backend} workers={stats.num_workers}: "
+        f"{stats.total_seconds * 1000:.1f} ms total "
+        f"({stats.queries_per_second:.1f} queries/s, "
+        f"setup {stats.setup_seconds * 1000:.1f} ms, "
+        f"{settled} settled connections)"
+    )
+    for (s, t), result in zip(pairs, batch):
+        best = (
+            "unreachable"
+            if result.profile.is_empty()
+            else f"{len(result.profile)} profile points"
+        )
+        print(f"  {s:4d} → {t:4d} ({result.classification}): {best}")
     return 0
 
 
@@ -172,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--target", type=int, default=None)
     p_profile.add_argument("--cores", type=int, default=4)
     p_profile.add_argument("--max-points", type=int, default=6)
+    p_profile.add_argument("--kernel", choices=KERNELS, default="flat")
     p_profile.set_defaults(func=_cmd_profile)
 
     p_query = sub.add_parser("query", help="station-to-station query")
@@ -185,7 +239,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="fraction of stations to use as transfer stations (0 = no table)",
     )
+    p_query.add_argument("--kernel", choices=KERNELS, default="flat")
     p_query.set_defaults(func=_cmd_query)
+
+    p_batch = sub.add_parser(
+        "batch", help="batched random query workload (throughput check)"
+    )
+    _add_input_arguments(p_batch)
+    p_batch.add_argument(
+        "--n-queries", type=int, default=20, help="random (source, target) pairs"
+    )
+    p_batch.add_argument("--cores", type=int, default=1)
+    p_batch.add_argument(
+        "--workers", type=int, default=4, help="pool workers distributing queries"
+    )
+    p_batch.add_argument("--backend", choices=BATCH_BACKENDS, default="serial")
+    p_batch.add_argument("--kernel", choices=KERNELS, default="flat")
+    p_batch.add_argument(
+        "--transfer-fraction",
+        type=float,
+        default=0.0,
+        help="fraction of stations to use as transfer stations (0 = no table)",
+    )
+    p_batch.set_defaults(func=_cmd_batch)
 
     for name, fn in (("table1", _cmd_table1), ("table2", _cmd_table2)):
         p_tab = sub.add_parser(name, help=f"regenerate {name} for an instance")

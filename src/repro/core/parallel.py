@@ -11,6 +11,17 @@ subset, merges the labels and reduces.  Execution backends:
 * ``processes`` — fork-based ``multiprocessing``; real parallelism on
   multi-core hosts at the cost of forking and result pickling.
 
+Orthogonal to the backend, ``kernel`` selects the per-subset search
+implementation:
+
+* ``python`` — the reference object-graph SPCS
+  (:func:`~repro.core.spcs.spcs_profile_search`); default, and the
+  implementation every other path is validated against;
+* ``flat``   — the flat-array kernel
+  (:func:`~repro.core.spcs_kernel.spcs_kernel_search`) over a packed
+  :class:`~repro.graph.td_arrays.TDGraphArrays`; several times faster,
+  identical reduced profiles.
+
 Whatever the backend, the result carries *simulated-cores* accounting:
 ``simulated_time = max_t(thread_time_t) + merge_time`` — the wall-clock
 a p-core machine would see, because the master must wait for the
@@ -28,18 +39,23 @@ from dataclasses import dataclass
 
 from repro.core.merge import MergedProfileResult, merge_thread_results
 from repro.core.partition import PARTITION_STRATEGIES
-from repro.core.spcs import SPCSResult, spcs_profile_search
+from repro.core.spcs import SPCSResult
+from repro.core.spcs_kernel import run_spcs_search
+from repro.graph.td_arrays import packed_arrays
 from repro.graph.td_model import TDGraph
+
+#: Valid ``kernel`` arguments of :func:`parallel_profile_search`.
+KERNELS = ("python", "flat")
 
 # Module-level state for fork-based workers (inherited copy-on-write).
 _FORK_STATE: dict[str, object] = {}
 
 
-def _fork_worker(args: tuple[int, int, list[int], bool, str]) -> SPCSResult:
-    source, _thread_id, subset, self_pruning, queue = args
-    graph = _FORK_STATE["graph"]
-    return spcs_profile_search(
-        graph,  # type: ignore[arg-type]
+def _fork_worker(args: tuple[int, int, list[int], bool, str, str]) -> SPCSResult:
+    source, _thread_id, subset, self_pruning, queue, kernel = args
+    return run_spcs_search(
+        _FORK_STATE["graph"],  # type: ignore[arg-type]
+        _FORK_STATE["arrays"] if kernel == "flat" else None,  # type: ignore[arg-type]
         source,
         connection_subset=subset,
         self_pruning=self_pruning,
@@ -95,14 +111,19 @@ def parallel_profile_search(
     backend: str = "serial",
     self_pruning: bool = True,
     queue: str = "binary",
+    kernel: str = "python",
 ) -> ParallelProfileResult:
     """One-to-all profile search on ``num_threads`` simulated cores.
 
     ``strategy`` is a :data:`~repro.core.partition.PARTITION_STRATEGIES`
-    key; ``backend`` one of ``serial`` / ``threads`` / ``processes``.
+    key; ``backend`` one of ``serial`` / ``threads`` / ``processes``;
+    ``kernel`` one of :data:`KERNELS` (``queue`` only applies to the
+    ``python`` kernel — the flat kernel always uses the lazy C heap).
     """
     if num_threads < 1:
         raise ValueError(f"need at least one thread, got {num_threads}")
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; choose from {KERNELS}")
     try:
         partition_fn = PARTITION_STRATEGIES[strategy]
     except KeyError:
@@ -116,6 +137,24 @@ def parallel_profile_search(
     conn_deps = [c.dep_time for c in conns]
     parts = partition_fn(conn_deps, num_threads, timetable.period)
 
+    arrays = packed_arrays(graph) if kernel == "flat" else None
+    if arrays is not None:
+        # Build the kernel-side list mirrors here, outside the timed
+        # region: the searches below must measure search work, not a
+        # one-time cache fill (and forked workers inherit the finished
+        # mirrors copy-on-write).
+        arrays.kernel_adjacency()
+
+    def search(subset: list[int]) -> SPCSResult:
+        return run_spcs_search(
+            graph,
+            arrays,
+            source,
+            connection_subset=subset,
+            self_pruning=self_pruning,
+            queue=queue,
+        )
+
     start_total = time.perf_counter()
     thread_results: list[SPCSResult] = []
     times: list[float] = []
@@ -123,26 +162,12 @@ def parallel_profile_search(
     if backend == "serial":
         for subset in parts:
             t0 = time.perf_counter()
-            thread_results.append(
-                spcs_profile_search(
-                    graph,
-                    source,
-                    connection_subset=subset,
-                    self_pruning=self_pruning,
-                    queue=queue,
-                )
-            )
+            thread_results.append(search(subset))
             times.append(time.perf_counter() - t0)
     elif backend == "threads":
         def run(subset: list[int]) -> tuple[SPCSResult, float]:
             t0 = time.perf_counter()
-            result = spcs_profile_search(
-                graph,
-                source,
-                connection_subset=subset,
-                self_pruning=self_pruning,
-                queue=queue,
-            )
+            result = search(subset)
             return result, time.perf_counter() - t0
 
         with ThreadPoolExecutor(max_workers=num_threads) as pool:
@@ -163,10 +188,12 @@ def parallel_profile_search(
                 backend="threads",
                 self_pruning=self_pruning,
                 queue=queue,
+                kernel=kernel,
             )
         _FORK_STATE["graph"] = graph
+        _FORK_STATE["arrays"] = arrays
         args = [
-            (source, t, subset, self_pruning, queue)
+            (source, t, subset, self_pruning, queue, kernel)
             for t, subset in enumerate(parts)
         ]
         try:
@@ -185,6 +212,7 @@ def parallel_profile_search(
             ]
         finally:
             _FORK_STATE.pop("graph", None)
+            _FORK_STATE.pop("arrays", None)
     else:
         raise ValueError(
             f"unknown backend {backend!r}; choose serial, threads or processes"

@@ -14,6 +14,22 @@ through two optional hooks:
   max settled index ``Tm``; every queue entry with ``i ≤ Tm`` is pruned.
 * ``pruner`` — an object receiving settle events and deciding distance-
   table pruning (Theorems 3/4); see :mod:`repro.query.table_query`.
+  Verdicts are the integer codes :data:`PRUNE_NONE` /
+  :data:`PRUNE_NODE` / :data:`PRUNE_CONNECTION`, so any kernel that
+  speaks integers can drive the same hook objects.
+
+This module is the **reference implementation**: object-graph
+adjacency, dataclass results, an addressable queue — optimized for
+clarity and for being obviously equal to the paper's pseudocode.  The
+performance twin is :mod:`repro.core.spcs_kernel`, which runs the same
+algorithm over the packed flat-array graph
+(:mod:`repro.graph.td_arrays`) with preallocated int64 label vectors
+and a C heap; ``kernel="flat"`` in
+:func:`~repro.core.parallel.parallel_profile_search` and the query
+engines selects it.  ``tests/core/test_kernel_equivalence.py`` holds
+the two implementations (and the label-correcting baseline) equal on
+randomized instances; ``docs/KERNEL.md`` documents the layout and the
+hook-to-verdict-code mapping.
 """
 
 from __future__ import annotations

@@ -1,0 +1,308 @@
+"""Flat-array SPCS kernel (paper §3.1/§4, HPC form).
+
+Same algorithm as :func:`repro.core.spcs.spcs_profile_search` — one
+queue item per (node, connection) pair, connection-setting,
+self-pruning, the stopping criterion and the pruner hook — but engineered
+for interpreter throughput instead of readability:
+
+* the graph is a :class:`~repro.graph.td_arrays.TDGraphArrays` pack;
+  adjacency, travel-time functions and labels live in flat arrays and
+  Python-list mirrors, never in per-edge/per-label objects;
+* labels, settled flags and ancestry bits are preallocated flat
+  vectors indexed by ``node * num_local + k`` — no tuple construction
+  or 2-D numpy scalar indexing in the loop;
+* the queue is C-implemented :mod:`heapq` with lazy deletion (stale
+  entries are skipped when their key exceeds the current label);
+* travel-time evaluation is inlined: FIFO legs take the
+  next-departure fast path, non-FIFO legs fall back to the cyclic
+  two-pass scan of :meth:`TravelTimeFunction.arrival`.
+
+Hooks keep their integer-verdict protocol: a
+:class:`~repro.core.spcs.SettlePruner` receives the same
+``on_settle(node, conn_index, arrival, ancestry_complete)`` events and
+answers with ``PRUNE_NONE`` / ``PRUNE_NODE`` / ``PRUNE_CONNECTION``, so
+the distance-table machinery of :mod:`repro.query.table_query` runs on
+either implementation unchanged.
+
+Equivalence contract: for every input the kernel produces the same
+reduced profiles (and therefore the same earliest arrivals) as the
+object-graph SPCS.  Raw labels may differ on exact arrival-time ties —
+the two queues break ties differently, and which of two equal-arrival
+connections self-prunes the other is order-dependent — but reduction
+collapses both variants to the identical profile.
+``tests/core/test_kernel_equivalence.py`` enforces this against the
+pure-Python SPCS and the label-correcting oracle on randomized
+instances; the pure-Python path stays as the reference implementation.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from heapq import heappop, heappush
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.spcs import (
+    PRUNE_CONNECTION,
+    PRUNE_NODE,
+    SettlePruner,
+    SPCSResult,
+    SPCSStats,
+    spcs_profile_search,
+)
+from repro.functions.piecewise import INF_TIME
+from repro.graph.td_arrays import TDGraphArrays
+from repro.graph.td_model import TDGraph
+
+
+def run_spcs_search(
+    graph: TDGraph,
+    arrays: TDGraphArrays | None,
+    source: int,
+    *,
+    connection_subset: Sequence[int] | None = None,
+    self_pruning: bool = True,
+    target: int | None = None,
+    pruner: "SettlePruner | None" = None,
+    transfer_stations: "np.ndarray | None" = None,
+    queue: str = "binary",
+) -> SPCSResult:
+    """Dispatch one SPCS run: flat kernel when ``arrays`` is given,
+    otherwise the reference implementation (``queue`` applies only
+    there).  The single dispatch point shared by the parallel driver,
+    its fork workers and the station-to-station engine."""
+    if arrays is not None:
+        return spcs_kernel_search(
+            arrays,
+            source,
+            connection_subset=connection_subset,
+            self_pruning=self_pruning,
+            target=target,
+            pruner=pruner,
+            transfer_stations=transfer_stations,
+        )
+    return spcs_profile_search(
+        graph,
+        source,
+        connection_subset=connection_subset,
+        self_pruning=self_pruning,
+        target=target,
+        pruner=pruner,
+        transfer_stations=transfer_stations,
+        queue=queue,
+    )
+
+
+def spcs_kernel_search(
+    arrays: TDGraphArrays,
+    source: int,
+    *,
+    connection_subset: Sequence[int] | None = None,
+    self_pruning: bool = True,
+    target: int | None = None,
+    pruner: "SettlePruner | None" = None,
+    transfer_stations: "np.ndarray | None" = None,
+) -> SPCSResult:
+    """Run the flat-array SPCS from station ``source``.
+
+    Parameters mirror :func:`~repro.core.spcs.spcs_profile_search`
+    (minus ``queue`` — the kernel always uses the lazy C heap); see
+    there for semantics.  ``arrays`` is produced by
+    :func:`~repro.graph.td_arrays.pack_td_graph`.
+    """
+    if not arrays.is_station_node(source):
+        raise ValueError(f"source must be a station node, got {source}")
+    if target is not None and not arrays.is_station_node(target):
+        raise ValueError(f"target must be a station node, got {target}")
+
+    conn_lo = int(arrays.conn_indptr[source])
+    num_conns = int(arrays.conn_indptr[source + 1]) - conn_lo
+    if connection_subset is None:
+        subset = list(range(num_conns))
+    else:
+        subset = list(connection_subset)
+        if any(subset[k] >= subset[k + 1] for k in range(len(subset) - 1)):
+            raise ValueError("connection_subset must be strictly ascending")
+        if subset and not (0 <= subset[0] and subset[-1] < num_conns):
+            raise ValueError(f"connection_subset out of range [0, {num_conns})")
+
+    num_local = len(subset)
+    num_nodes = arrays.num_nodes
+    period = arrays.period
+    all_deps = arrays.conn_dep
+    all_starts = arrays.conn_start
+    conn_indices = np.asarray(subset, dtype=np.int64)
+    conn_deps = np.asarray(
+        [all_deps[conn_lo + g] for g in subset], dtype=np.int64
+    )
+
+    stats = SPCSStats()
+    if num_local == 0:
+        return SPCSResult(
+            source=source,
+            conn_indices=conn_indices,
+            conn_deps=conn_deps,
+            labels=np.full((num_nodes, 0), INF_TIME, dtype=np.int64),
+            stats=stats,
+            period=period,
+        )
+
+    INF = INF_TIME
+    size = num_nodes * num_local
+    # Heap entries are ``(key, -item)``: on equal arrival keys the
+    # *later* connection (larger local index) settles first, so
+    # self-pruning can kill the earlier one before it relaxes its edges
+    # — with ascending tie-break Theorem 1 would never fire on ties and
+    # the search visits measurably more pairs.
+    labels = [INF] * size
+    settled = bytearray(size)
+    maxconn = [-1] * num_nodes
+    globals_of = [int(g) for g in subset]
+    adjacency = arrays.kernel_adjacency()
+    heap: list[tuple[int, int]] = []
+
+    settled_n = pruned_self = pruned_stop = pruned_table = 0
+    pushes = relaxed = 0
+
+    for k, g in enumerate(subset):
+        dep = int(all_deps[conn_lo + g])
+        node = int(all_starts[conn_lo + g])
+        item = node * num_local + k
+        if dep < labels[item]:
+            labels[item] = dep
+            heappush(heap, (dep, -item))
+            pushes += 1
+
+    # Stopping criterion state (Theorem 2) and target-pruned connections
+    # (Theorem 4), exactly as in the reference implementation.
+    t_max = -1
+    conn_stopped = bytearray(num_local) if pruner is not None else None
+
+    track_ancestry = pruner is not None and transfer_stations is not None
+    if track_ancestry:
+        anc = bytearray(size)
+        no_anc_in_queue = [1] * num_local
+        station_mask = np.asarray(transfer_stations, dtype=bool)
+        node_is_transfer = station_mask[
+            np.asarray(arrays.node_station, dtype=np.int64)
+        ].tolist()
+
+    while heap:
+        key, item = heappop(heap)
+        item = -item
+        if settled[item] or key > labels[item]:
+            continue  # stale lazy-heap entry
+        settled[item] = 1
+        settled_n += 1
+        node, k = divmod(item, num_local)
+        g = globals_of[k]
+        if track_ancestry and not anc[item]:
+            no_anc_in_queue[k] -= 1
+
+        if target is not None and g <= t_max:
+            pruned_stop += 1
+            labels[item] = INF
+            continue
+        if conn_stopped is not None and conn_stopped[k]:
+            pruned_stop += 1
+            labels[item] = INF
+            continue
+
+        if self_pruning:
+            if g <= maxconn[node]:
+                pruned_self += 1
+                labels[item] = INF
+                continue
+            maxconn[node] = g
+        labels[item] = key
+
+        if target is not None and node == target and g > t_max:
+            t_max = g
+
+        if pruner is not None:
+            ancestry_complete = bool(
+                track_ancestry and no_anc_in_queue[k] == 0
+            )
+            verdict = pruner.on_settle(node, g, key, ancestry_complete)
+            if verdict == PRUNE_NODE:
+                pruned_table += 1
+                continue
+            if verdict == PRUNE_CONNECTION:
+                conn_stopped[k] = 1
+                continue
+
+        if track_ancestry:
+            push_anc = 1 if (anc[item] or node_is_transfer[node]) else 0
+        for head, weight, ttf in adjacency[node]:
+            relaxed += 1
+            if ttf is None:
+                t_next = key + weight
+            else:
+                deps, durs, fifo, n = ttf
+                tau = key % period
+                idx = bisect_left(deps, tau)
+                if fifo:
+                    # Next departure is optimal (arrivals non-decreasing).
+                    if idx < n:
+                        t_next = key + deps[idx] - tau + durs[idx]
+                    elif n:
+                        t_next = key + period + deps[0] - tau + durs[0]
+                    else:
+                        # Zero-point function: unreachable via
+                        # build_td_graph (empty legs get no edge) but
+                        # legal for TravelTimeFunction, and is_fifo()
+                        # is True for it — match arrival()'s INF_TIME.
+                        t_next = INF
+                else:
+                    # Cyclic two-pass scan, cf. TravelTimeFunction.arrival.
+                    best = INF
+                    for j in range(idx, n):
+                        wait = deps[j] - tau
+                        if wait >= best:
+                            break
+                        total = wait + durs[j]
+                        if total < best:
+                            best = total
+                    else:
+                        for j in range(idx):
+                            wait = period + deps[j] - tau
+                            if wait >= best:
+                                break
+                            total = wait + durs[j]
+                            if total < best:
+                                best = total
+                    t_next = key + best if best < INF else INF
+            head_item = head * num_local + k
+            if t_next < labels[head_item] and not settled[head_item]:
+                was_queued = labels[head_item] < INF
+                labels[head_item] = t_next
+                heappush(heap, (t_next, -head_item))
+                pushes += 1
+                if track_ancestry:
+                    if was_queued:
+                        if anc[head_item] != push_anc:
+                            no_anc_in_queue[k] += 1 if not push_anc else -1
+                            anc[head_item] = push_anc
+                    else:
+                        anc[head_item] = push_anc
+                        if not push_anc:
+                            no_anc_in_queue[k] += 1
+
+    stats.settled_connections = settled_n
+    stats.pruned_self = pruned_self
+    stats.pruned_stopping = pruned_stop
+    stats.pruned_table = pruned_table
+    stats.queue_pushes = pushes
+    stats.relaxed_edges = relaxed
+
+    return SPCSResult(
+        source=source,
+        conn_indices=conn_indices,
+        conn_deps=conn_deps,
+        labels=np.asarray(labels, dtype=np.int64).reshape(
+            num_nodes, num_local
+        ),
+        stats=stats,
+        period=period,
+    )

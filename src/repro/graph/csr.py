@@ -22,9 +22,11 @@ def build_csr(
     ``indptr`` has length ``num_nodes + 1``; the targets of node ``u``
     are ``targets[indptr[u]:indptr[u+1]]``, sorted ascending.
     """
-    edge_list = list(edges)
     if num_nodes < 0:
+        # Validate before materializing: ``edges`` may be a large (or
+        # effectful) generator that a doomed call must not consume.
         raise ValueError(f"num_nodes must be non-negative, got {num_nodes}")
+    edge_list = list(edges)
     indptr = np.zeros(num_nodes + 1, dtype=np.int64)
     if not edge_list:
         return indptr, np.zeros(0, dtype=np.int64)

@@ -1,0 +1,258 @@
+"""Packed flat-array form of the time-dependent graph (HPC layout).
+
+:class:`TDGraphArrays` is the struct-of-arrays twin of
+:class:`~repro.graph.td_model.TDGraph`: the adjacency becomes CSR
+``(edge_indptr, edge_target, edge_weight, edge_ttf)`` vectors, the
+travel-time functions are packed into one shared ``(ttf_indptr,
+ttf_dep, ttf_dur)`` pool, and ``conn(S)`` becomes a per-station CSR of
+departure times and seed route nodes.  Everything is a dense int64
+numpy array, so the whole graph pickles as a handful of buffers —
+cheap to ship to worker processes — and indexes without touching a
+single Python object.
+
+The flat-array SPCS kernel (:mod:`repro.core.spcs_kernel`) additionally
+wants Python-``list`` mirrors of the hot arrays: CPython list indexing
+is several times faster than scalar numpy indexing, which dominates an
+interpreter-bound inner loop.  :meth:`TDGraphArrays.kernel_adjacency`
+builds those mirrors lazily and caches them; the cache is dropped on
+pickling (workers rebuild their own).
+
+Layout summary (``N`` nodes, ``E`` edges, ``F`` ttfs, ``P`` ttf points,
+``S`` stations, ``C`` connections):
+
+===================  ==========  ==============================================
+array                shape       meaning
+===================  ==========  ==============================================
+``node_station``     ``N``       ``st(u)`` per node
+``edge_indptr``      ``N + 1``   CSR row pointers into the edge arrays
+``edge_target``      ``E``       head node per edge
+``edge_weight``      ``E``       constant weight (transfer/alight edges)
+``edge_ttf``         ``E``       ttf id per edge, ``-1`` for constant edges
+``ttf_indptr``       ``F + 1``   row pointers into the point pool
+``ttf_dep``          ``P``       departure time points, per ttf ascending
+``ttf_dur``          ``P``       durations, parallel to ``ttf_dep``
+``ttf_fifo``         ``F``       next-departure-is-optimal flag per ttf
+``conn_indptr``      ``S + 1``   row pointers into the connection arrays
+``conn_dep``         ``C``       departure time per connection, ``conn(S)``
+                                 order (matches ``outgoing_connections``)
+``conn_start``       ``C``       seed route node per connection (SPCS init)
+``transfer_time``    ``S``       minimum transfer time ``T(S)``
+===================  ==========  ==============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.td_model import TDGraph
+
+
+@dataclass
+class TDGraphArrays:
+    """Flat-array representation of a :class:`TDGraph` (see module doc)."""
+
+    num_nodes: int
+    num_stations: int
+    period: int
+    node_station: np.ndarray
+    edge_indptr: np.ndarray
+    edge_target: np.ndarray
+    edge_weight: np.ndarray
+    edge_ttf: np.ndarray
+    ttf_indptr: np.ndarray
+    ttf_dep: np.ndarray
+    ttf_dur: np.ndarray
+    ttf_fifo: np.ndarray
+    conn_indptr: np.ndarray
+    conn_dep: np.ndarray
+    conn_start: np.ndarray
+    transfer_time: np.ndarray
+    #: Lazy kernel-side cache; never pickled (workers rebuild their own).
+    _adjacency_cache: list | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_target.size)
+
+    @property
+    def num_connections(self) -> int:
+        return int(self.conn_dep.size)
+
+    def is_station_node(self, u: int) -> bool:
+        return u < self.num_stations
+
+    def outgoing_connection_count(self, station: int) -> int:
+        """``|conn(S)|`` for a station."""
+        return int(self.conn_indptr[station + 1] - self.conn_indptr[station])
+
+    def source_connection_arrays(
+        self, station: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(dep_times, seed_route_nodes)`` views of ``conn(station)``."""
+        lo, hi = int(self.conn_indptr[station]), int(self.conn_indptr[station + 1])
+        return self.conn_dep[lo:hi], self.conn_start[lo:hi]
+
+    def kernel_adjacency(self) -> list:
+        """Per-node adjacency as plain Python objects for the kernel.
+
+        ``adjacency[u]`` is a list of ``(target, weight, ttf)`` triples
+        where ``ttf`` is ``None`` for constant edges, else a
+        ``(deps_list, durs_list, fifo, n)`` tuple shared across edges
+        referencing the same function.  Built once and cached.
+        """
+        if self._adjacency_cache is not None:
+            return self._adjacency_cache
+
+        ttfs = []
+        dep_pool = self.ttf_dep.tolist()
+        dur_pool = self.ttf_dur.tolist()
+        indptr = self.ttf_indptr.tolist()
+        fifo = self.ttf_fifo.tolist()
+        for f in range(len(fifo)):
+            lo, hi = indptr[f], indptr[f + 1]
+            ttfs.append((dep_pool[lo:hi], dur_pool[lo:hi], bool(fifo[f]), hi - lo))
+
+        edge_indptr = self.edge_indptr.tolist()
+        edge_target = self.edge_target.tolist()
+        edge_weight = self.edge_weight.tolist()
+        edge_ttf = self.edge_ttf.tolist()
+        adjacency = []
+        for u in range(self.num_nodes):
+            lo, hi = edge_indptr[u], edge_indptr[u + 1]
+            adjacency.append(
+                [
+                    (
+                        edge_target[e],
+                        edge_weight[e],
+                        None if edge_ttf[e] < 0 else ttfs[edge_ttf[e]],
+                    )
+                    for e in range(lo, hi)
+                ]
+            )
+        self._adjacency_cache = adjacency
+        return adjacency
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_adjacency_cache"] = None
+        return state
+
+    def nbytes(self) -> int:
+        """Total packed size in bytes (diagnostics / docs)."""
+        return sum(
+            getattr(self, name).nbytes
+            for name in (
+                "node_station",
+                "edge_indptr",
+                "edge_target",
+                "edge_weight",
+                "edge_ttf",
+                "ttf_indptr",
+                "ttf_dep",
+                "ttf_dur",
+                "ttf_fifo",
+                "conn_indptr",
+                "conn_dep",
+                "conn_start",
+                "transfer_time",
+            )
+        )
+
+
+def pack_td_graph(graph: TDGraph) -> TDGraphArrays:
+    """Pack a :class:`TDGraph` into its flat-array form.
+
+    Edge order within a node follows ``graph.adjacency`` (the kernel and
+    the object-graph SPCS relax in the same order); ``conn(S)`` order
+    matches :meth:`Timetable.outgoing_connections`.
+    """
+    timetable = graph.timetable
+    num_nodes = graph.num_nodes
+    num_stations = graph.num_stations
+
+    edge_indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    targets: list[int] = []
+    weights: list[int] = []
+    ttf_ids: list[int] = []
+    ttf_key_to_id: dict[int, int] = {}
+    ttf_objs = []
+    for u, edges in enumerate(graph.adjacency):
+        for edge in edges:
+            targets.append(edge.target)
+            if edge.ttf is None:
+                weights.append(edge.weight)
+                ttf_ids.append(-1)
+            else:
+                weights.append(0)
+                key = id(edge.ttf)
+                fid = ttf_key_to_id.get(key)
+                if fid is None:
+                    fid = len(ttf_objs)
+                    ttf_key_to_id[key] = fid
+                    ttf_objs.append(edge.ttf)
+                ttf_ids.append(fid)
+        edge_indptr[u + 1] = len(targets)
+
+    ttf_indptr = np.zeros(len(ttf_objs) + 1, dtype=np.int64)
+    ttf_dep: list[int] = []
+    ttf_dur: list[int] = []
+    ttf_fifo = np.zeros(len(ttf_objs), dtype=bool)
+    for f, ttf in enumerate(ttf_objs):
+        ttf_dep.extend(ttf.deps)
+        ttf_dur.extend(ttf.durs)
+        ttf_indptr[f + 1] = len(ttf_dep)
+        ttf_fifo[f] = ttf.is_fifo()
+
+    conn_indptr = np.zeros(num_stations + 1, dtype=np.int64)
+    conn_dep: list[int] = []
+    conn_start: list[int] = []
+    for station in range(num_stations):
+        for c in timetable.outgoing_connections(station):
+            conn_dep.append(c.dep_time)
+            conn_start.append(graph.source_route_node(c))
+        conn_indptr[station + 1] = len(conn_dep)
+
+    return TDGraphArrays(
+        num_nodes=num_nodes,
+        num_stations=num_stations,
+        period=timetable.period,
+        node_station=np.asarray(graph.node_station, dtype=np.int64),
+        edge_indptr=edge_indptr,
+        edge_target=np.asarray(targets, dtype=np.int64),
+        edge_weight=np.asarray(weights, dtype=np.int64),
+        edge_ttf=np.asarray(ttf_ids, dtype=np.int64),
+        ttf_indptr=ttf_indptr,
+        ttf_dep=np.asarray(ttf_dep, dtype=np.int64),
+        ttf_dur=np.asarray(ttf_dur, dtype=np.int64),
+        ttf_fifo=ttf_fifo,
+        conn_indptr=conn_indptr,
+        conn_dep=np.asarray(conn_dep, dtype=np.int64),
+        conn_start=np.asarray(conn_start, dtype=np.int64),
+        transfer_time=np.asarray(
+            [s.transfer_time for s in timetable.stations], dtype=np.int64
+        ),
+    )
+
+
+# Packing a large graph is not free; queries and benchmarks pack each
+# graph once and reuse it.  Entries hold the graph strongly so ``id``
+# reuse cannot alias a dead graph to a live cache entry.
+_PACK_CACHE: dict[int, tuple[TDGraph, TDGraphArrays]] = {}
+_PACK_CACHE_MAX = 8
+
+
+def packed_arrays(graph: TDGraph) -> TDGraphArrays:
+    """Cached :func:`pack_td_graph` (bounded, insertion-evicted cache)."""
+    key = id(graph)
+    hit = _PACK_CACHE.get(key)
+    if hit is not None and hit[0] is graph:
+        return hit[1]
+    arrays = pack_td_graph(graph)
+    if len(_PACK_CACHE) >= _PACK_CACHE_MAX:
+        _PACK_CACHE.pop(next(iter(_PACK_CACHE)))
+    _PACK_CACHE[key] = (graph, arrays)
+    return arrays

@@ -8,6 +8,9 @@
 * :mod:`repro.query.table_query` — the full station-to-station engine:
   stopping criterion + distance-table pruning (Theorem 3) + target
   pruning (Theorem 4) + the ``S, T ∈ S_trans`` shortcut.
+* :mod:`repro.query.batch` — the batched engine: amortizes graph
+  packing and worker-pool startup over many queries (the
+  traffic-serving workload shape).
 * :mod:`repro.query.transfer_selection` — choosing ``S_trans`` by
   station-graph contraction or by degree.
 * :mod:`repro.query.contraction` — the CH-style contraction routine.
@@ -18,6 +21,12 @@ from repro.query.distance_table import DistanceTable, build_distance_table
 from repro.query.table_query import (
     StationToStationEngine,
     StationToStationResult,
+)
+from repro.query.batch import (
+    BATCH_BACKENDS,
+    BatchQueryEngine,
+    BatchResult,
+    BatchStats,
 )
 from repro.query.transfer_selection import (
     select_by_contraction,
@@ -32,6 +41,10 @@ __all__ = [
     "build_distance_table",
     "StationToStationEngine",
     "StationToStationResult",
+    "BATCH_BACKENDS",
+    "BatchQueryEngine",
+    "BatchResult",
+    "BatchStats",
     "select_by_contraction",
     "select_by_degree",
     "select_transfer_stations",

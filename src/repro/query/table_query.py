@@ -28,12 +28,10 @@ import numpy as np
 
 from repro.core.merge import merge_thread_results
 from repro.core.partition import PARTITION_STRATEGIES
-from repro.core.spcs import (
-    PRUNE_CONNECTION,
-    PRUNE_NODE,
-    PRUNE_NONE,
-    spcs_profile_search,
-)
+from repro.core.spcs import PRUNE_CONNECTION, PRUNE_NODE, PRUNE_NONE
+from repro.core.parallel import KERNELS
+from repro.core.spcs_kernel import run_spcs_search
+from repro.graph.td_arrays import packed_arrays
 from repro.functions.algebra import Profile
 from repro.functions.piecewise import INF_TIME
 from repro.graph.station_graph import StationGraph, build_station_graph
@@ -199,7 +197,16 @@ class StationToStationResult:
 
 
 class StationToStationEngine:
-    """Reusable engine: build once per (graph, distance table) pair."""
+    """Reusable engine: build once per (graph, distance table) pair.
+
+    ``kernel`` selects the per-subset search implementation: ``python``
+    (the reference object-graph SPCS) or ``flat`` (the flat-array
+    kernel over a packed :class:`TDGraphArrays`; identical reduced
+    profiles, several times faster).  All pruning hooks — the stopping
+    criterion, Theorem 3 distance-table pruning and Theorem 4 target
+    pruning — run identically on either kernel because the pruner
+    speaks the integer verdict-code protocol.
+    """
 
     def __init__(
         self,
@@ -212,7 +219,12 @@ class StationToStationEngine:
         table_pruning: bool = True,
         target_pruning: bool = True,
         queue: str = "binary",
+        kernel: str = "python",
     ) -> None:
+        if kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; choose from {KERNELS}"
+            )
         self.graph = graph
         self.table = table
         self.num_threads = num_threads
@@ -221,6 +233,12 @@ class StationToStationEngine:
         self.table_pruning = table_pruning and table is not None
         self.target_pruning = target_pruning and table is not None
         self.queue = queue
+        self.kernel = kernel
+        self._arrays = packed_arrays(graph) if kernel == "flat" else None
+        if self._arrays is not None:
+            # Pay the kernel-side mirror build at engine construction,
+            # not inside the first query's timed search loop.
+            self._arrays.kernel_adjacency()
         self.station_graph: StationGraph = build_station_graph(graph.timetable)
         num_stations = graph.num_stations
         self._transfer_mask = np.zeros(num_stations, dtype=bool)
@@ -329,8 +347,9 @@ class StationToStationEngine:
         for subset in parts:
             t0 = time.perf_counter()
             thread_results.append(
-                spcs_profile_search(
+                run_spcs_search(
                     graph,
+                    self._arrays,
                     source,
                     connection_subset=subset,
                     target=target if self.stopping else None,

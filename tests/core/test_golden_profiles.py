@@ -1,0 +1,70 @@
+"""Golden regression fixtures: known-good profiles for 3 canonical
+instances (see ``tests/fixtures/regen_fixtures.py``).
+
+Both the reference SPCS and the flat-array kernel must reproduce the
+snapshotted reduced profiles exactly.  A failure here after a kernel
+edit means the edit changed *answers*, not just performance — either a
+bug, or an intentional semantic change that requires regenerating the
+fixtures and saying so in the PR.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.spcs import spcs_profile_search
+from repro.core.spcs_kernel import spcs_kernel_search
+from repro.graph.td_arrays import packed_arrays
+from repro.graph.td_model import build_td_graph
+from repro.synthetic.instances import make_instance
+
+from tests.helpers import toy_timetable
+
+FIXTURE_DIR = Path(__file__).resolve().parents[1] / "fixtures"
+
+GOLDEN = sorted(FIXTURE_DIR.glob("profiles_*.json"))
+
+
+def _load_graph(name: str):
+    if name == "toy":
+        return build_td_graph(toy_timetable())
+    instance, scale = name.rsplit("-", 1)
+    return build_td_graph(make_instance(instance, scale=scale, seed=0))
+
+
+def test_fixture_files_exist():
+    names = {p.stem.removeprefix("profiles_") for p in GOLDEN}
+    assert {"toy", "oahu-tiny", "germany-tiny"} <= names
+
+
+@pytest.mark.parametrize(
+    "path", GOLDEN, ids=[p.stem.removeprefix("profiles_") for p in GOLDEN]
+)
+@pytest.mark.parametrize("impl", ["python", "flat"])
+def test_profiles_match_golden_snapshot(path, impl):
+    data = json.loads(path.read_text())
+    name = path.stem.removeprefix("profiles_")
+    graph = _load_graph(name)
+    assert graph.timetable.period == data["period"]
+    assert graph.num_stations == data["num_stations"]
+
+    arrays = packed_arrays(graph) if impl == "flat" else None
+    for source_key, stations in data["sources"].items():
+        source = int(source_key)
+        if impl == "flat":
+            result = spcs_kernel_search(arrays, source)
+        else:
+            result = spcs_profile_search(graph, source)
+        for station_key, expected in stations.items():
+            profile = result.profile(int(station_key))
+            got = [
+                [int(d), int(a)]
+                for d, a in zip(profile.deps, profile.arrs)
+            ]
+            assert got == expected, (
+                f"{name}: profile {source}->{station_key} drifted from "
+                f"golden snapshot ({impl} implementation)"
+            )

@@ -1,0 +1,83 @@
+"""Regenerate the golden profile fixtures.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tests/fixtures/regen_fixtures.py
+
+Writes ``profiles_<instance>.json`` next to this script for the three
+canonical instances.  The snapshots hold *reduced profiles* — the
+algorithm-independent answer every implementation must reproduce — per
+(source, station) pair, generated with the reference pure-Python SPCS.
+``tests/core/test_golden_profiles.py`` diffs both the reference and the
+flat-array kernel against them, so any future kernel edit that changes
+an answer fails loudly against known-good output.
+
+Regenerate only when an intentional semantic change lands (a new
+instance generator, a changed transfer-time model, …) and call the
+change out in the PR.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+FIXTURE_DIR = Path(__file__).resolve().parent
+REPO_ROOT = FIXTURE_DIR.parents[1]
+sys.path.insert(0, str(REPO_ROOT))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.spcs import spcs_profile_search  # noqa: E402
+from repro.graph.td_model import build_td_graph  # noqa: E402
+from repro.synthetic.instances import make_instance  # noqa: E402
+
+from tests.helpers import toy_timetable  # noqa: E402
+
+
+def canonical_instances():
+    """The three golden instances: the hand-checkable toy network plus
+    one dense-bus and one sparse-rail synthetic at tiny scale."""
+    toy = toy_timetable()
+    return {
+        "toy": (toy, list(range(toy.num_stations))),
+        "oahu-tiny": (make_instance("oahu", scale="tiny", seed=0), [0, 5]),
+        "germany-tiny": (make_instance("germany", scale="tiny", seed=0), [0, 3]),
+    }
+
+
+def snapshot(timetable, sources) -> dict:
+    graph = build_td_graph(timetable)
+    out = {
+        "instance": timetable.name,
+        "period": timetable.period,
+        "num_stations": timetable.num_stations,
+        "sources": {},
+    }
+    for source in sources:
+        result = spcs_profile_search(graph, source)
+        profiles = {}
+        for station in range(graph.num_stations):
+            profile = result.profile(station)
+            profiles[str(station)] = [
+                [int(d), int(a)]
+                for d, a in zip(profile.deps, profile.arrs)
+            ]
+        out["sources"][str(source)] = profiles
+    return out
+
+
+def main() -> int:
+    for name, (timetable, sources) in canonical_instances().items():
+        path = FIXTURE_DIR / f"profiles_{name}.json"
+        data = snapshot(timetable, sources)
+        path.write_text(json.dumps(data, separators=(",", ":")) + "\n")
+        points = sum(
+            len(p) for profs in data["sources"].values() for p in profs.values()
+        )
+        print(f"wrote {path.name}: {len(data['sources'])} sources, {points} points")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,9 +35,40 @@ class TestBuildCsr:
         with pytest.raises(ValueError, match="non-negative"):
             build_csr(-1, [])
 
+    def test_negative_num_nodes_rejected_before_consuming_edges(self):
+        """Validation must precede materializing the edge iterable."""
+        consumed = []
+
+        def edge_gen():
+            consumed.append(True)
+            yield (0, 1)
+
+        with pytest.raises(ValueError, match="non-negative"):
+            build_csr(-1, edge_gen())
+        assert not consumed
+
+    def test_zero_nodes_empty_graph(self):
+        indptr, targets = build_csr(0, [])
+        assert indptr.tolist() == [0]
+        assert targets.size == 0
+
+    def test_zero_nodes_with_edges_rejected(self):
+        with pytest.raises(ValueError, match="range"):
+            build_csr(0, [(0, 0)])
+
     def test_parallel_edges_kept(self):
         _indptr, targets = build_csr(2, [(0, 1), (0, 1)])
         assert targets.tolist() == [1, 1]
+
+    def test_self_loops_kept(self):
+        indptr, targets = build_csr(3, [(1, 1), (1, 2), (1, 1)])
+        assert neighbors(indptr, targets, 1).tolist() == [1, 1, 2]
+
+    def test_parallel_self_loops_and_edges_mixed(self):
+        indptr, targets = build_csr(2, [(0, 0), (0, 1), (0, 0), (1, 1)])
+        assert indptr.tolist() == [0, 3, 4]
+        assert neighbors(indptr, targets, 0).tolist() == [0, 0, 1]
+        assert neighbors(indptr, targets, 1).tolist() == [1]
 
 
 class TestBuildWeightedCsr:

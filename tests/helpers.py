@@ -39,17 +39,25 @@ def random_line_timetable(
     min_headway: int = 25,
     max_headway: int = 90,
     service_span: tuple[int, int] = (360, 1380),
+    period: int = 1440,
+    max_transfer: int = 5,
 ) -> Timetable:
     """A random but always-valid line network, deterministic in ``seed``.
 
     Per-station-pair leg times keep merged routes FIFO; lines run in
     both directions so reachability is symmetric.  Used as the input
     distribution for the cross-implementation equivalence properties.
+
+    ``period`` sets the timetable periodicity ``π`` (departures are
+    normalized into it); a ``service_span`` that covers the whole
+    period yields wrap-heavy *periodic* service, a narrow span an
+    *aperiodic* window.  ``max_transfer`` scales the per-station
+    minimum transfer times (transfer-cost density).
     """
     rng = random.Random(seed)
-    builder = TimetableBuilder(name=f"random-{seed}")
+    builder = TimetableBuilder(period=period, name=f"random-{seed}")
     stations = [
-        builder.add_station(f"s{k}", transfer_time=rng.randint(0, 5))
+        builder.add_station(f"s{k}", transfer_time=rng.randint(0, max_transfer))
         for k in range(num_stations)
     ]
     leg_time: dict[tuple[int, int], int] = {}
@@ -70,7 +78,7 @@ def random_line_timetable(
         for seq in (stops, stops[::-1]):
             legs = [leg(seq[k], seq[k + 1]) for k in range(len(seq) - 1)]
             for dep in range(service_span[0] + offset, service_span[1], headway):
-                t = dep % 1440
+                t = dep % period
                 trip = [(seq[0], t)]
                 for duration in legs:
                     t += duration

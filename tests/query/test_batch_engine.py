@@ -1,0 +1,183 @@
+"""Batch engine ≡ one-at-a-time queries, bitwise, on every backend.
+
+The batched engine's whole contract is amortization without semantic
+drift: for any workload, kernel and backend, ``query_many`` must return
+exactly what a fresh :class:`StationToStationEngine` would answer query
+by query — including the target-stopping path (no table), the
+distance-table pruning paths (local/global classification, Theorems
+3/4) and the trivial/table shortcuts.  "Bitwise" means the profile
+arrays compare equal element for element, not merely as functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import parallel_profile_search
+from repro.query import (
+    BatchQueryEngine,
+    StationToStationEngine,
+    build_distance_table,
+    select_transfer_stations,
+)
+from repro.synthetic.workloads import random_station_pairs
+
+BACKENDS = ("serial", "threads", "processes")
+KERNELS = ("python", "flat")
+
+
+@pytest.fixture(scope="module")
+def table(oahu_tiny, oahu_tiny_graph):
+    stations = select_transfer_stations(
+        oahu_tiny, method="contraction", fraction=0.3
+    )
+    return build_distance_table(oahu_tiny_graph, stations, num_threads=2)
+
+
+@pytest.fixture(scope="module")
+def workload(oahu_tiny, table):
+    """Random pairs plus hand-picked ones hitting every classification:
+    trivial (s == t), table (both transfer stations), and the pruned
+    local/global paths."""
+    pairs = random_station_pairs(oahu_tiny, 10, seed=7)
+    transfer = [int(s) for s in table.transfer_stations]
+    pairs.append((3, 3))  # trivial
+    if len(transfer) >= 2:
+        pairs.append((transfer[0], transfer[1]))  # table shortcut
+    if transfer:
+        non_transfer = next(
+            s
+            for s in range(oahu_tiny.num_stations)
+            if s not in set(transfer)
+        )
+        pairs.append((non_transfer, transfer[0]))  # target pruning path
+    return pairs
+
+
+def assert_bitwise_equal(expected, got, context):
+    assert got.classification == expected.classification, context
+    assert got.profile.period == expected.profile.period, context
+    assert np.array_equal(got.profile.deps, expected.profile.deps), context
+    assert np.array_equal(got.profile.arrs, expected.profile.arrs), context
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_query_many_with_table_matches_one_at_a_time(
+    oahu_tiny_graph, table, workload, backend, kernel
+):
+    reference = StationToStationEngine(
+        oahu_tiny_graph, table, num_threads=2, kernel=kernel
+    )
+    expected = [reference.query(s, t) for s, t in workload]
+    classes = {r.classification for r in expected}
+    assert {"trivial", "table"} <= classes, (
+        f"workload misses shortcut paths: {classes}"
+    )
+
+    engine = BatchQueryEngine(
+        oahu_tiny_graph,
+        table,
+        kernel=kernel,
+        backend=backend,
+        workers=2,
+        num_threads=2,
+    )
+    batch = engine.query_many(workload)
+    assert len(batch) == len(workload)
+    for (s, t), exp, got in zip(workload, expected, batch):
+        assert_bitwise_equal(
+            exp, got, f"{s}->{t} on {backend}/{kernel}"
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_query_many_without_table_matches_one_at_a_time(
+    oahu_tiny_graph, workload, backend, kernel
+):
+    """Pure stopping-criterion path (no distance table at all)."""
+    reference = StationToStationEngine(
+        oahu_tiny_graph, None, num_threads=2, kernel=kernel
+    )
+    expected = [reference.query(s, t) for s, t in workload]
+    engine = BatchQueryEngine(
+        oahu_tiny_graph,
+        None,
+        kernel=kernel,
+        backend=backend,
+        workers=2,
+        num_threads=2,
+    )
+    for (s, t), exp, got in zip(
+        workload, expected, engine.query_many(workload)
+    ):
+        assert_bitwise_equal(exp, got, f"{s}->{t} on {backend}/{kernel}")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_profile_many_matches_parallel_search(
+    oahu_tiny_graph, backend
+):
+    sources = [0, 4, 9]
+    expected = [
+        parallel_profile_search(oahu_tiny_graph, s, 2, kernel="flat")
+        for s in sources
+    ]
+    engine = BatchQueryEngine(
+        oahu_tiny_graph,
+        kernel="flat",
+        backend=backend,
+        workers=2,
+        num_threads=2,
+    )
+    batch = engine.profile_many(sources)
+    for s, exp, got in zip(sources, expected, batch):
+        assert np.array_equal(got.merged.labels, exp.merged.labels), (
+            f"source {s} on {backend}"
+        )
+        assert np.array_equal(got.merged.conn_deps, exp.merged.conn_deps)
+
+
+def test_results_come_back_in_submission_order(oahu_tiny_graph, table):
+    pairs = [(9, 2), (0, 5), (7, 1), (2, 9)]
+    engine = BatchQueryEngine(
+        oahu_tiny_graph, table, backend="processes", workers=2, num_threads=1
+    )
+    batch = engine.query_many(pairs)
+    for (s, t), result in zip(pairs, batch):
+        assert (result.source, result.target) == (s, t)
+
+
+def test_batch_stats_accounting(oahu_tiny_graph):
+    engine = BatchQueryEngine(oahu_tiny_graph, backend="serial", num_threads=1)
+    batch = engine.query_many([(0, 1), (1, 2)])
+    stats = batch.stats
+    assert stats.num_queries == 2
+    assert stats.backend == "serial"
+    assert stats.kernel == "flat"
+    assert stats.num_workers == 1
+    assert stats.total_seconds > 0
+    assert stats.queries_per_second > 0
+    assert stats.setup_seconds >= 0
+
+
+def test_single_query_shortcut_reports_effective_backend(oahu_tiny_graph):
+    """A ≤1-query batch runs serially whatever was configured; the
+    stats must say what actually ran."""
+    engine = BatchQueryEngine(
+        oahu_tiny_graph, backend="processes", workers=4, num_threads=1
+    )
+    stats = engine.query_many([(0, 1)]).stats
+    assert stats.backend == "serial"
+    assert stats.num_workers == 1
+
+
+def test_invalid_configuration_rejected(oahu_tiny_graph):
+    with pytest.raises(ValueError, match="backend"):
+        BatchQueryEngine(oahu_tiny_graph, backend="gpu")
+    with pytest.raises(ValueError, match="worker"):
+        BatchQueryEngine(oahu_tiny_graph, workers=0)
+    with pytest.raises(ValueError, match="kernel"):
+        BatchQueryEngine(oahu_tiny_graph, kernel="rust")

@@ -56,6 +56,40 @@ class TestQueryCommand:
         assert "distance table" in out
 
 
+class TestBatchCommand:
+    def test_batch_serial_flat(self, capsys):
+        assert main([
+            "batch", "--instance", "oahu", "--scale", "tiny",
+            "--n-queries", "5", "--kernel", "flat", "--backend", "serial",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "5 queries on kernel=flat backend=serial" in out
+        assert "queries/s" in out
+        assert out.count("→") == 5
+
+    def test_batch_python_kernel_with_table(self, capsys):
+        assert main([
+            "batch", "--instance", "oahu", "--scale", "tiny",
+            "--n-queries", "3", "--kernel", "python",
+            "--transfer-fraction", "0.3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "kernel=python" in out
+
+    def test_kernels_answer_identically(self, capsys):
+        answers = {}
+        for kernel in ("python", "flat"):
+            assert main([
+                "batch", "--instance", "germany", "--scale", "tiny",
+                "--n-queries", "4", "--kernel", kernel, "--seed", "2",
+            ]) == 0
+            out = capsys.readouterr().out
+            answers[kernel] = [
+                line for line in out.splitlines() if "→" in line
+            ]
+        assert answers["python"] == answers["flat"]
+
+
 class TestTableCommands:
     def test_table1(self, capsys):
         assert main([
