@@ -12,7 +12,7 @@ from statistics import fmean
 import pytest
 
 from repro.analysis.formatting import format_table
-from repro.query.table_query import StationToStationEngine
+from repro.service import ServiceConfig, TransitService
 from repro.synthetic.workloads import random_station_pairs
 
 NUM_QUERIES = 5
@@ -25,22 +25,24 @@ _rows: list[list] = []
 @pytest.mark.parametrize("instance", INSTANCES)
 @pytest.mark.parametrize("stopping", (True, False), ids=["stop", "nostop"])
 def test_stopping_criterion(benchmark, graphs, report, instance, stopping):
-    graph = graphs.graph(instance)
-    pairs = random_station_pairs(graph.timetable, NUM_QUERIES, seed=7)
-    engine = StationToStationEngine(
-        graph, None, num_threads=NUM_CORES, stopping=stopping
+    service = TransitService.from_graph(
+        graphs.graph(instance),
+        ServiceConfig(
+            kernel="python", num_threads=NUM_CORES, stopping=stopping
+        ),
     )
+    pairs = random_station_pairs(service.timetable, NUM_QUERIES, seed=7)
 
     def run():
-        return [engine.query(s, t) for s, t in pairs]
+        return [service.journey(s, t) for s, t in pairs]
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     _rows.append(
         [
             instance,
             "on" if stopping else "off",
-            f"{fmean(r.settled_connections for r in results):,.0f}",
-            f"{fmean(r.simulated_time for r in results) * 1000:.1f}",
+            f"{fmean(r.stats.settled_connections for r in results):,.0f}",
+            f"{fmean(r.stats.simulated_seconds for r in results) * 1000:.1f}",
         ]
     )
     if len(_rows) == len(INSTANCES) * 2:

@@ -22,9 +22,7 @@ from statistics import fmean
 import pytest
 
 from repro.analysis.formatting import format_table
-from repro.query.distance_table import build_distance_table
-from repro.query.table_query import StationToStationEngine
-from repro.query.transfer_selection import select_transfer_stations
+from repro.service import ServiceConfig, TransitService
 from repro.synthetic.workloads import random_station_pairs
 
 from benchmarks.conftest import ALL_INSTANCES
@@ -38,35 +36,38 @@ _SELECTIONS = [f"{f * 100:.1f}%" for f in FRACTIONS] + ["deg > 2"]
 
 
 def _run_row(graph, selection, pairs):
-    timetable = graph.timetable
-    if selection == "deg > 2":
-        stations = select_transfer_stations(
-            timetable, method="degree", min_degree=2
+    base = ServiceConfig(num_threads=NUM_CORES, kernel="python")
+    if selection == "0.0%":
+        config = base
+    elif selection == "deg > 2":
+        config = base.with_overrides(
+            use_distance_table=True,
+            transfer_selection="degree",
+            min_degree=2,
         )
     else:
-        fraction = float(selection.rstrip("%")) / 100.0
-        stations = select_transfer_stations(
-            timetable, method="contraction", fraction=fraction
+        config = base.with_overrides(
+            use_distance_table=True,
+            transfer_selection="contraction",
+            transfer_fraction=float(selection.rstrip("%")) / 100.0,
         )
+    service = TransitService.from_graph(graph, config)
+    table = service.table
 
-    if selection != "0.0%" and stations.size == 0:
+    if selection != "0.0%" and table is None:
         return None  # fraction too small for this scaled-down instance
 
-    table = None
-    prepro, mib = 0.0, 0.0
-    if selection != "0.0%":
-        table = build_distance_table(graph, stations, num_threads=NUM_CORES)
-        prepro, mib = table.build_seconds, table.size_mib()
-
-    engine = StationToStationEngine(graph, table, num_threads=NUM_CORES)
+    prepro, mib = (0.0, 0.0) if table is None else (
+        table.build_seconds, table.size_mib()
+    )
     settled, times = [], []
     for s, t in pairs:
-        result = engine.query(s, t)
-        settled.append(result.settled_connections)
-        times.append(result.simulated_time)
+        result = service.journey(s, t)
+        settled.append(result.stats.settled_connections)
+        times.append(result.stats.simulated_seconds)
     return {
         "selection": selection,
-        "num_transfer": 0 if table is None else int(stations.size),
+        "num_transfer": service.prepare_stats.num_transfer_stations,
         "prepro": prepro,
         "mib": mib,
         "settled": fmean(settled),

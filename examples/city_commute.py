@@ -17,10 +17,10 @@ import tempfile
 from pathlib import Path
 
 from repro import (
-    build_td_graph,
+    ServiceConfig,
+    TransitService,
     load_gtfs,
     make_instance,
-    parallel_profile_search,
     save_gtfs,
 )
 from repro.functions.piecewise import INF_TIME
@@ -36,11 +36,11 @@ def main() -> None:
         timetable = load_gtfs(feed)
     print(f"loaded: {timetable.summary()}\n")
 
-    graph = build_td_graph(timetable)
+    # One prepared service, one profile query answers everything below.
+    service = TransitService(timetable, ServiceConfig(num_threads=4))
     home, work = 2, timetable.num_stations - 3
 
-    # One profile query answers everything below.
-    result = parallel_profile_search(graph, home, num_threads=4)
+    result = service.profile(home)
     to_work = result.profile(work)
     if to_work.is_empty():
         raise SystemExit("no connection between the chosen stations")
@@ -69,7 +69,7 @@ def main() -> None:
         print(f"  {format_time(tau)}  {label}  {bar}")
 
     # --- last connection home ------------------------------------------
-    back = parallel_profile_search(graph, work, num_threads=4).profile(home)
+    back = service.profile(work).profile(home)
     if not back.is_empty():
         dep, dur = back.connection_points()[-1]
         print(

@@ -2,40 +2,38 @@
 """The fully dynamic scenario: querying under train delays (§5.1).
 
 The paper points out that because SPCS needs no preprocessing, it can
-serve timetable information under delays directly — just rebuild the
-time-dependent graph from the updated timetable and query.  This
-example delays a morning train, shows how the travel-time profile
-degrades, and demonstrates slack recovery.
+serve timetable information under delays directly.  The
+:class:`TransitService` facade packages that as
+:meth:`~repro.service.TransitService.apply_delays`: a new service for
+the delayed timetable that re-derives only travel-time-dependent
+artifacts (graph, packed arrays) and shares the topology-only state
+(station graph, transfer-station selection).  This example delays a
+morning train, shows how the travel-time profile degrades, and
+demonstrates slack recovery.
 
 Run:  python examples/dynamic_delays.py
 """
 
-from repro import (
-    Delay,
-    apply_delays,
-    build_td_graph,
-    make_instance,
-    parallel_profile_search,
-)
+from repro import Delay, ServiceConfig, TransitService, make_instance
 from repro.timetable.delays import train_lateness_profile
 from repro.timetable.periodic import format_time
 
 
 def main() -> None:
     timetable = make_instance("germany", scale="tiny", seed=0)
-    graph = build_td_graph(timetable)
+    service = TransitService(timetable, ServiceConfig(num_threads=4))
     print(timetable.summary())
 
     source, target = 0, timetable.num_stations - 1
-    baseline = parallel_profile_search(graph, source, 4).profile(target)
+    baseline = service.profile(source).profile(target)
     if baseline.is_empty():
         raise SystemExit("chosen pair not connected; pick other stations")
 
     # Delay a morning train that actually carries best connections to
     # the target (scan the 06:00–09:00 departures for an impactful one).
     def impact(train):
-        tt2 = apply_delays(timetable, [Delay(train=train, minutes=35)])
-        prof = parallel_profile_search(build_td_graph(tt2), source, 4).profile(target)
+        delayed = service.apply_delays([Delay(train=train, minutes=35)])
+        prof = delayed.profile(source).profile(target)
         return sum(
             1
             for tau in range(0, timetable.period, 30)
@@ -56,22 +54,28 @@ def main() -> None:
         f"(scheduled {format_time(dep_time)} from station {source})"
     )
 
-    delayed_tt = apply_delays(timetable, [Delay(train=victim, minutes=35)])
-    late_profile = train_lateness_profile(timetable, delayed_tt, victim)
+    delayed_service = service.apply_delays([Delay(train=victim, minutes=35)])
+    late_profile = train_lateness_profile(
+        timetable, delayed_service.timetable, victim
+    )
     print(f"per-leg lateness without recovery: {late_profile}")
 
-    recovered_tt = apply_delays(
-        timetable, [Delay(train=victim, minutes=35)], slack_per_leg=6
+    recovered_service = service.apply_delays(
+        [Delay(train=victim, minutes=35)], slack_per_leg=6
     )
     print(
         "per-leg lateness with 6 min/leg slack recovery: "
-        f"{train_lateness_profile(timetable, recovered_tt, victim)}"
+        f"{train_lateness_profile(timetable, recovered_service.timetable, victim)}"
+    )
+    print(
+        "replanning re-derived the graph in "
+        f"{delayed_service.prepare_stats.total_seconds * 1000:.0f} ms "
+        "(station graph shared: "
+        f"{delayed_service.prepare_stats.shared_station_graph})"
     )
 
-    # No preprocessing to repair: rebuild the graph, query again.
-    delayed = parallel_profile_search(
-        build_td_graph(delayed_tt), source, 4
-    ).profile(target)
+    # No preprocessing to repair: the delayed service answers directly.
+    delayed = delayed_service.profile(source).profile(target)
 
     print(f"\nprofile {source} -> {target}, before vs after the delay:")
     print("  departure   planned arrival   delayed arrival")

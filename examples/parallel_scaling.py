@@ -12,24 +12,30 @@ Run:  python examples/parallel_scaling.py
 
 from statistics import fmean
 
-from repro import build_td_graph, make_instance, parallel_profile_search
+from repro import ProfileRequest, ServiceConfig, TransitService, make_instance
 from repro.synthetic.workloads import random_sources
 
 
 def study(instance: str) -> None:
     timetable = make_instance(instance, scale="tiny")
-    graph = build_td_graph(timetable)
+    # Prepare once; the p-sweep issues requests with per-request
+    # thread-count overrides against the same service.
+    service = TransitService(timetable, ServiceConfig(kernel="python"))
     sources = random_sources(timetable, 3, seed=0)
     print(f"\n== {instance}: {timetable.summary()} ==")
     print("  p   settled   growth   time [ms]   speed-up   balance")
 
     base_time = base_settled = None
     for p in range(1, 9):
-        runs = [parallel_profile_search(graph, s, p) for s in sources]
+        runs = [
+            service.profile(ProfileRequest(s, num_threads=p))
+            for s in sources
+        ]
         settled = fmean(r.stats.settled_connections for r in runs)
-        elapsed = fmean(r.stats.simulated_time for r in runs)
+        elapsed = fmean(r.stats.simulated_seconds for r in runs)
         imbalance = fmean(
-            max(r.stats.settled_per_thread) / (fmean(r.stats.settled_per_thread) or 1)
+            max(r.raw.stats.settled_per_thread)
+            / (fmean(r.raw.stats.settled_per_thread) or 1)
             for r in runs
         )
         if base_time is None:

@@ -1,14 +1,15 @@
 #!/usr/bin/env python3
 """Quickstart: profile search on a hand-built timetable.
 
-Builds the three-train toy of the paper's Fig. 2, runs a one-to-all
-profile search, and prints the piecewise-linear travel-time function
-``dist(S, T, ·)`` with its connection points.
+Builds the three-train toy of the paper's Fig. 2, hands it to the
+:class:`TransitService` facade (prepare once, query many), runs a
+one-to-all profile search, and prints the piecewise-linear travel-time
+function ``dist(S, T, ·)`` with its connection points.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import TimetableBuilder, build_td_graph, parallel_profile_search
+from repro import ServiceConfig, TimetableBuilder, TransitService
 from repro.timetable.periodic import format_time
 
 
@@ -32,20 +33,22 @@ def main() -> None:
     timetable = builder.build()
     print(timetable.summary())
 
-    # --- 2. Build the realistic time-dependent graph -----------------
-    graph = build_td_graph(timetable)
+    # --- 2. Prepare the service (graph build + packing, paid once) ----
+    service = TransitService(timetable, ServiceConfig(num_threads=4))
+    graph = service.graph
     print(
         f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges, "
-        f"{len(graph.routes)} routes\n"
+        f"{len(graph.routes)} routes "
+        f"(prepared in {service.prepare_stats.total_seconds * 1000:.1f} ms)\n"
     )
 
     # --- 3. One-to-all profile search (all best connections, one run) -
-    result = parallel_profile_search(graph, home, num_threads=4)
+    result = service.profile(home)
     stats = result.stats
     print(
         f"profile search settled {stats.settled_connections} connections "
         f"on {stats.num_threads} (simulated) cores in "
-        f"{stats.simulated_time * 1000:.2f} ms\n"
+        f"{stats.simulated_seconds * 1000:.2f} ms\n"
     )
 
     # --- 4. Read off the travel-time function toward Work ------------

@@ -17,7 +17,20 @@ Build the realistic time-dependent graph and run profile searches::
     profile = result.profile(station=5)     # dist(S, T, ·), reduced
     profile.earliest_arrival(8 * 60)        # depart 08:00
 
-Accelerated station-to-station queries::
+Or — the recommended entry point — let the :class:`TransitService`
+facade prepare everything once and answer every query shape::
+
+    from repro import TransitService, ServiceConfig
+    service = TransitService(
+        timetable,
+        ServiceConfig(use_distance_table=True, transfer_fraction=0.05),
+    )
+    service.profile(0)                         # one-to-all
+    service.journey(0, 5, departure=8 * 60)    # journey with legs
+    service.batch([(0, 5), (3, 9)])            # batched workload
+    service.apply_delays([Delay(train=2, minutes=10)])  # replanning
+
+The lower-level building blocks remain available for research use::
 
     from repro import (
         select_transfer_stations, build_distance_table, StationToStationEngine,
@@ -27,8 +40,8 @@ Accelerated station-to-station queries::
     engine = StationToStationEngine(graph, table)
     answer = engine.query(source=0, target=5)
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-reproduction results.
+See DESIGN.md for the system inventory, docs/API.md for the service
+facade, and EXPERIMENTS.md for the reproduction results.
 """
 
 from repro.timetable import (
@@ -54,15 +67,31 @@ from repro.core import (
     spcs_profile_search,
 )
 from repro.query import (
+    BatchQueryEngine,
     DistanceTable,
     StationToStationEngine,
     build_distance_table,
     compute_via_stations,
     select_transfer_stations,
 )
+from repro.service import (
+    BatchRequest,
+    BatchResponse,
+    JourneyLeg,
+    JourneyRequest,
+    JourneyResult,
+    PreparedDataset,
+    PrepareStats,
+    ProfileRequest,
+    ProfileResult,
+    QueryStats,
+    ServiceConfig,
+    TransitService,
+    prepare_dataset,
+)
 from repro.synthetic import make_instance
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Connection",
@@ -93,9 +122,23 @@ __all__ = [
     "spcs_profile_search",
     "DistanceTable",
     "StationToStationEngine",
+    "BatchQueryEngine",
     "build_distance_table",
     "compute_via_stations",
     "select_transfer_stations",
+    "TransitService",
+    "ServiceConfig",
+    "ProfileRequest",
+    "JourneyRequest",
+    "BatchRequest",
+    "ProfileResult",
+    "JourneyResult",
+    "BatchResponse",
+    "JourneyLeg",
+    "QueryStats",
+    "PreparedDataset",
+    "PrepareStats",
+    "prepare_dataset",
     "make_instance",
     "__version__",
 ]

@@ -1,6 +1,10 @@
 """Experiment runners for the paper's evaluation artifacts (§5).
 
-Work and time accounting follow the paper:
+All measured query paths run through the
+:class:`~repro.service.TransitService` facade — one prepared dataset
+per configuration, queried many times — so the numbers reported here
+are the numbers the production entry point produces.  Work and time
+accounting follow the paper:
 
 * *Settled Conns* — queue extractions, summed over all cores; for LC,
   the summed sizes of the function labels taken from the queue.
@@ -19,11 +23,8 @@ from dataclasses import dataclass
 from statistics import fmean
 
 from repro.baselines.label_correcting import label_correcting_profile
-from repro.core.parallel import parallel_profile_search
 from repro.graph.td_model import TDGraph, build_td_graph
-from repro.query.distance_table import build_distance_table
-from repro.query.table_query import StationToStationEngine
-from repro.query.transfer_selection import select_transfer_stations
+from repro.service import ProfileRequest, ServiceConfig, TransitService
 from repro.synthetic.instances import make_instance
 from repro.synthetic.workloads import random_sources, random_station_pairs
 
@@ -67,12 +68,21 @@ def run_table1(
     cores: tuple[int, ...] = (1, 2, 4, 8),
     include_lc: bool = True,
     strategy: str = "equal-connections",
+    kernel: str = "python",
     seed: int = 0,
     graph: TDGraph | None = None,
 ) -> Table1Result:
-    """One-to-all profile queries, CS on each core count vs LC."""
+    """One-to-all profile queries, CS on each core count vs LC.
+
+    One :class:`TransitService` is prepared for the instance; the core
+    sweep issues :class:`ProfileRequest`\\ s with per-request thread
+    overrides against it (prepare once, query many).
+    """
     if graph is None:
         graph = _prepare(instance, scale, seed)
+    service = TransitService.from_graph(
+        graph, ServiceConfig(kernel=kernel, strategy=strategy)
+    )
     sources = random_sources(graph.timetable, num_queries, seed=seed + 1)
 
     cells: list[OneToAllCell] = []
@@ -81,11 +91,9 @@ def run_table1(
         settled: list[int] = []
         times: list[float] = []
         for source in sources:
-            result = parallel_profile_search(
-                graph, source, p, strategy=strategy
-            )
+            result = service.profile(ProfileRequest(source, num_threads=p))
             settled.append(result.stats.settled_connections)
-            times.append(result.stats.simulated_time)
+            times.append(result.stats.simulated_seconds)
         mean_time = fmean(times)
         if base_time is None:
             base_time = mean_time
@@ -143,11 +151,16 @@ def run_table2(
     include_degree_rule: bool = True,
     min_degree: int = 2,
     num_cores: int = 8,
+    kernel: str = "python",
     seed: int = 0,
     graph: TDGraph | None = None,
 ) -> list[Table2Row]:
     """Station-to-station queries with distance-table pruning, sweeping
-    the transfer-station fraction (plus the ``deg > k`` rule)."""
+    the transfer-station fraction (plus the ``deg > k`` rule).
+
+    Each selection is one :class:`TransitService` configuration over
+    the same prebuilt graph; preprocessing time and table size come
+    from the facade's prepared artifacts."""
     if graph is None:
         graph = _prepare(instance, scale, seed)
     pairs = random_station_pairs(graph.timetable, num_queries, seed=seed + 2)
@@ -158,40 +171,38 @@ def run_table2(
     if include_degree_rule:
         selections.append((f"deg > {min_degree}", "degree"))
 
+    base_config = ServiceConfig(kernel=kernel, num_threads=num_cores)
     rows: list[Table2Row] = []
     base_time: float | None = None
     for label, spec in selections:
         if spec == 0.0:
-            table = None
+            config = base_config
+        elif spec == "degree":
+            config = base_config.with_overrides(
+                use_distance_table=True,
+                transfer_selection="degree",
+                min_degree=min_degree,
+            )
+        else:
+            config = base_config.with_overrides(
+                use_distance_table=True,
+                transfer_selection="contraction",
+                transfer_fraction=float(spec),
+            )
+        service = TransitService.from_graph(graph, config)
+        table = service.table
+        num_transfer = service.prepare_stats.num_transfer_stations
+        if table is None:
             prepro, mib, num_transfer = 0.0, 0.0, 0
         else:
-            if spec == "degree":
-                stations = select_transfer_stations(
-                    graph.timetable, method="degree", min_degree=min_degree
-                )
-            else:
-                stations = select_transfer_stations(
-                    graph.timetable, method="contraction", fraction=float(spec)
-                )
-            num_transfer = int(stations.size)
-            if num_transfer == 0:
-                table = None
-                prepro, mib = 0.0, 0.0
-            else:
-                table = build_distance_table(
-                    graph, stations, num_threads=num_cores
-                )
-                prepro, mib = table.build_seconds, table.size_mib()
+            prepro, mib = table.build_seconds, table.size_mib()
 
-        engine = StationToStationEngine(
-            graph, table, num_threads=num_cores
-        )
         settled: list[int] = []
         times: list[float] = []
         for s, t in pairs:
-            result = engine.query(s, t)
-            settled.append(result.settled_connections)
-            times.append(result.simulated_time)
+            result = service.journey(s, t)
+            settled.append(result.stats.settled_connections)
+            times.append(result.stats.simulated_seconds)
         mean_time = fmean(times)
         if base_time is None:
             base_time = mean_time

@@ -12,7 +12,11 @@ Subcommands::
 
 ``profile``, ``query`` and ``batch`` accept ``--kernel {python,flat}``:
 ``python`` is the reference object-graph SPCS, ``flat`` the packed
-flat-array kernel (identical results, several times faster).
+flat-array kernel (identical results, several times faster).  All
+three run on top of the :class:`~repro.service.TransitService` facade:
+the CLI builds one service per invocation (prepare once) and issues
+typed requests against it.  ``batch --json`` emits a one-line JSON
+throughput summary for scriptable perf tracking.
 
 Timetables are read either from a GTFS-like directory (``--gtfs DIR``)
 or generated on the fly (``--instance NAME [--scale SCALE]``).
@@ -21,18 +25,15 @@ or generated on the fly (``--instance NAME [--scale SCALE]``).
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
 
 from repro.analysis import render_table1, render_table2, run_table1, run_table2
-from repro.core import KERNELS, parallel_profile_search
+from repro.core import KERNELS
 from repro.graph import build_td_graph
-from repro.query import (
-    BATCH_BACKENDS,
-    BatchQueryEngine,
-    StationToStationEngine,
-    build_distance_table,
-    select_transfer_stations,
-)
+from repro.query import BATCH_BACKENDS
+from repro.service import BatchRequest, ServiceConfig, TransitService
 from repro.synthetic.workloads import random_station_pairs
 from repro.synthetic import INSTANCE_NAMES, make_instance
 from repro.timetable.gtfs import load_gtfs, save_gtfs
@@ -52,7 +53,13 @@ def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
         choices=("tiny", "small", "medium"),
         help="synthetic instance scale (default: small)",
     )
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for synthetic-instance generation (and, for batch, "
+        "the random query workload)",
+    )
 
 
 def _load(args: argparse.Namespace) -> Timetable:
@@ -80,17 +87,48 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_service(
+    args: argparse.Namespace,
+    timetable: Timetable,
+    *,
+    quiet: bool = False,
+    **overrides,
+) -> TransitService:
+    """One prepared service per CLI invocation (the facade owns the
+    graph build, packing and the optional distance table).
+
+    ``quiet`` suppresses the human-readable distance-table line —
+    required by ``batch --json``, whose stdout must be exactly one
+    JSON document.
+    """
+    fraction = getattr(args, "transfer_fraction", 0.0)
+    config = ServiceConfig(
+        kernel=args.kernel,
+        num_threads=args.cores,
+        use_distance_table=fraction > 0,
+        transfer_fraction=fraction if fraction > 0 else 0.05,
+        **overrides,
+    )
+    service = TransitService(timetable, config)
+    table = service.table
+    if table is not None and not quiet:
+        print(
+            f"distance table over {table.num_transfer_stations} transfer "
+            f"stations ({table.size_mib():.2f} MiB, "
+            f"built in {table.build_seconds:.1f} s)"
+        )
+    return service
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     timetable = _load(args)
-    graph = build_td_graph(timetable)
-    result = parallel_profile_search(
-        graph, args.source, args.cores, kernel=args.kernel
-    )
+    service = _make_service(args, timetable)
+    result = service.profile(args.source)
     stats = result.stats
     print(
         f"one-to-all from station {args.source} on {args.cores} cores: "
         f"{stats.settled_connections} settled connections, "
-        f"simulated time {stats.simulated_time * 1000:.1f} ms"
+        f"simulated time {stats.simulated_seconds * 1000:.1f} ms"
     )
     targets = (
         range(timetable.num_stations) if args.target is None else [args.target]
@@ -108,34 +146,15 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_table(args: argparse.Namespace, timetable: Timetable, graph):
-    """Distance table for the ``--transfer-fraction`` option (shared by
-    ``query`` and ``batch``); None when the option is off."""
-    if args.transfer_fraction <= 0:
-        return None
-    stations = select_transfer_stations(
-        timetable, method="contraction", fraction=args.transfer_fraction
-    )
-    table = build_distance_table(graph, stations, num_threads=args.cores)
-    print(
-        f"distance table over {stations.size} transfer stations "
-        f"({table.size_mib():.2f} MiB, built in {table.build_seconds:.1f} s)"
-    )
-    return table
-
-
 def _cmd_query(args: argparse.Namespace) -> int:
     timetable = _load(args)
-    graph = build_td_graph(timetable)
-    table = _build_table(args, timetable, graph)
-    engine = StationToStationEngine(
-        graph, table, num_threads=args.cores, kernel=args.kernel
-    )
-    result = engine.query(args.source, args.target)
+    service = _make_service(args, timetable)
+    result = service.journey(args.source, args.target)
+    stats = result.stats
     print(
-        f"{args.source} → {args.target} ({result.classification}): "
-        f"{result.settled_connections} settled connections, "
-        f"simulated time {result.simulated_time * 1000:.1f} ms"
+        f"{args.source} → {args.target} ({stats.classification}): "
+        f"{stats.settled_connections} settled connections, "
+        f"simulated time {stats.simulated_seconds * 1000:.1f} ms"
     )
     if result.profile.is_empty():
         print("  no connections found (target unreachable)")
@@ -146,20 +165,49 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     timetable = _load(args)
-    graph = build_td_graph(timetable)
-    table = _build_table(args, timetable, graph)
-    pairs = random_station_pairs(timetable, args.n_queries, seed=args.seed)
-    engine = BatchQueryEngine(
-        graph,
-        table,
-        kernel=args.kernel,
+    service = _make_service(
+        args,
+        timetable,
+        quiet=args.json,
         backend=args.backend,
         workers=args.workers,
-        num_threads=args.cores,
     )
-    batch = engine.query_many(pairs)
+    pairs = random_station_pairs(timetable, args.n_queries, seed=args.seed)
+    batch = service.batch(BatchRequest.from_pairs(pairs))
     stats = batch.stats
-    settled = sum(r.settled_connections for r in batch)
+    settled = sum(r.stats.settled_connections for r in batch.journeys)
+    if args.json:
+        classifications: dict[str, int] = {}
+        for r in batch.journeys:
+            key = r.stats.classification or "unknown"
+            classifications[key] = classifications.get(key, 0) + 1
+        # queries_per_second is inf for an instantaneous (e.g. empty)
+        # batch; json.dumps would emit the non-RFC-8259 token Infinity.
+        qps = stats.queries_per_second
+        summary = {
+            "num_queries": stats.num_queries,
+            "kernel": stats.kernel,
+            "backend": stats.backend,
+            "workers": stats.num_workers,
+            "seed": args.seed,
+            "total_seconds": round(stats.total_seconds, 6),
+            "queries_per_second": round(qps, 2) if math.isfinite(qps) else 0.0,
+            "setup_seconds": round(stats.setup_seconds, 6),
+            "prepare_seconds": round(
+                service.prepare_stats.total_seconds, 6
+            ),
+            "transfer_stations": service.prepare_stats.num_transfer_stations,
+            "table_mib": round(service.prepare_stats.table_mib, 4),
+            "settled_connections": settled,
+            "mean_simulated_seconds": round(
+                sum(r.stats.simulated_seconds for r in batch.journeys)
+                / max(len(batch.journeys), 1),
+                6,
+            ),
+            "classifications": classifications,
+        }
+        print(json.dumps(summary, sort_keys=True))
+        return 0
     print(
         f"{stats.num_queries} queries on kernel={stats.kernel} "
         f"backend={stats.backend} workers={stats.num_workers}: "
@@ -168,13 +216,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"setup {stats.setup_seconds * 1000:.1f} ms, "
         f"{settled} settled connections)"
     )
-    for (s, t), result in zip(pairs, batch):
+    for (s, t), result in zip(pairs, batch.journeys):
         best = (
             "unreachable"
             if result.profile.is_empty()
             else f"{len(result.profile)} profile points"
         )
-        print(f"  {s:4d} → {t:4d} ({result.classification}): {best}")
+        print(f"  {s:4d} → {t:4d} ({result.stats.classification}): {best}")
     return 0
 
 
@@ -260,6 +308,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="fraction of stations to use as transfer stations (0 = no table)",
+    )
+    p_batch.add_argument(
+        "--json",
+        action="store_true",
+        help="print a one-line JSON throughput summary instead of text",
     )
     p_batch.set_defaults(func=_cmd_batch)
 

@@ -18,7 +18,7 @@ connection-setting profile search (SPCS) and its parallelization.
 """
 
 from repro.core.spcs import SPCSResult, spcs_profile_search
-from repro.core.spcs_kernel import spcs_kernel_search
+from repro.core.spcs_kernel import run_spcs_search, spcs_kernel_search
 from repro.core.partition import (
     PARTITION_STRATEGIES,
     partition_equal_connections,
@@ -27,12 +27,18 @@ from repro.core.partition import (
 )
 from repro.core.merge import MergedProfileResult, merge_thread_results
 from repro.core.multicriteria import McProfileResult, mc_profile_search
-from repro.core.parallel import KERNELS, ParallelRunStats, parallel_profile_search
+from repro.core.parallel import (
+    KERNELS,
+    ParallelProfileResult,
+    ParallelRunStats,
+    parallel_profile_search,
+)
 
 __all__ = [
     "SPCSResult",
     "spcs_profile_search",
     "spcs_kernel_search",
+    "run_spcs_search",
     "KERNELS",
     "PARTITION_STRATEGIES",
     "partition_equal_connections",
@@ -42,6 +48,7 @@ __all__ = [
     "merge_thread_results",
     "McProfileResult",
     "mc_profile_search",
+    "ParallelProfileResult",
     "ParallelRunStats",
     "parallel_profile_search",
 ]

@@ -29,6 +29,11 @@ slowest thread before merging (paper §3.2, "Choice of the Partition").
 The per-thread settled-connection counts expose the paper's key
 parallel effect: self-pruning cannot cross threads, so total work grows
 with p.
+
+Most callers reach this function through the
+:class:`~repro.service.TransitService` facade (``service.profile``),
+which prepares the packed arrays once and passes them via ``arrays=``;
+calling it directly is equivalent and remains supported (docs/API.md).
 """
 
 from __future__ import annotations
@@ -41,7 +46,7 @@ from repro.core.merge import MergedProfileResult, merge_thread_results
 from repro.core.partition import PARTITION_STRATEGIES
 from repro.core.spcs import SPCSResult
 from repro.core.spcs_kernel import run_spcs_search
-from repro.graph.td_arrays import packed_arrays
+from repro.graph.td_arrays import TDGraphArrays, packed_arrays
 from repro.graph.td_model import TDGraph
 
 #: Valid ``kernel`` arguments of :func:`parallel_profile_search`.
@@ -112,6 +117,7 @@ def parallel_profile_search(
     self_pruning: bool = True,
     queue: str = "binary",
     kernel: str = "python",
+    arrays: "TDGraphArrays | None" = None,
 ) -> ParallelProfileResult:
     """One-to-all profile search on ``num_threads`` simulated cores.
 
@@ -119,6 +125,9 @@ def parallel_profile_search(
     key; ``backend`` one of ``serial`` / ``threads`` / ``processes``;
     ``kernel`` one of :data:`KERNELS` (``queue`` only applies to the
     ``python`` kernel — the flat kernel always uses the lazy C heap).
+    ``arrays`` injects a pre-packed :class:`TDGraphArrays` for the
+    ``flat`` kernel (the service facade owns one shared pack); when
+    omitted the memoized :func:`packed_arrays` cache is used.
     """
     if num_threads < 1:
         raise ValueError(f"need at least one thread, got {num_threads}")
@@ -137,7 +146,11 @@ def parallel_profile_search(
     conn_deps = [c.dep_time for c in conns]
     parts = partition_fn(conn_deps, num_threads, timetable.period)
 
-    arrays = packed_arrays(graph) if kernel == "flat" else None
+    if kernel == "flat":
+        if arrays is None:
+            arrays = packed_arrays(graph)
+    else:
+        arrays = None
     if arrays is not None:
         # Build the kernel-side list mirrors here, outside the timed
         # region: the searches below must measure search work, not a
@@ -189,6 +202,7 @@ def parallel_profile_search(
                 self_pruning=self_pruning,
                 queue=queue,
                 kernel=kernel,
+                arrays=arrays,
             )
         _FORK_STATE["graph"] = graph
         _FORK_STATE["arrays"] = arrays

@@ -19,6 +19,7 @@
 from repro.query.via import ViaInfo, compute_via_stations
 from repro.query.distance_table import DistanceTable, build_distance_table
 from repro.query.table_query import (
+    DistanceTablePruner,
     StationToStationEngine,
     StationToStationResult,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "compute_via_stations",
     "DistanceTable",
     "build_distance_table",
+    "DistanceTablePruner",
     "StationToStationEngine",
     "StationToStationResult",
     "BATCH_BACKENDS",

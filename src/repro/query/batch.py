@@ -27,6 +27,12 @@ Backends for distributing queries:
   is inherited copy-on-write by the workers, so startup is paid once
   per batch, not once per query; only the per-query results travel
   back through pickling.
+
+Batched workloads are usually issued through
+:meth:`repro.service.TransitService.batch`, which owns the prepared
+artifacts and injects them here (``arrays=``/``station_graph=``);
+direct construction stays supported and behaves identically
+(docs/API.md).
 """
 
 from __future__ import annotations
@@ -37,6 +43,8 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.parallel import ParallelProfileResult, parallel_profile_search
+from repro.graph.station_graph import StationGraph
+from repro.graph.td_arrays import TDGraphArrays
 from repro.graph.td_model import TDGraph
 from repro.query.distance_table import DistanceTable
 from repro.query.table_query import StationToStationEngine, StationToStationResult
@@ -54,10 +62,10 @@ def _query_worker(indexed: tuple[int, tuple[int, int]]):
     return idx, engine.query(source, target)
 
 
-def _profile_worker(indexed: tuple[int, int]):
-    idx, source = indexed
+def _profile_worker(indexed: tuple[int, tuple[int, int | None]]):
+    idx, (source, num_threads) = indexed
     batch: BatchQueryEngine = _BATCH_STATE["batch"]  # type: ignore[assignment]
-    return idx, batch._one_profile(source)
+    return idx, batch._one_profile(source, num_threads)
 
 
 @dataclass(slots=True)
@@ -126,6 +134,11 @@ class BatchQueryEngine:
     table_pruning: bool = True
     target_pruning: bool = True
     queue: str = "binary"
+    #: Optional prepared artifacts (injected by the service facade so
+    #: the batch engine shares one pack / station graph with every
+    #: other query path over the same dataset).
+    arrays: TDGraphArrays | None = None
+    station_graph: StationGraph | None = None
     setup_seconds: float = field(init=False, default=0.0)
     _engine: StationToStationEngine = field(init=False, repr=False)
 
@@ -151,6 +164,8 @@ class BatchQueryEngine:
             target_pruning=self.target_pruning,
             queue=self.queue,
             kernel=self.kernel,
+            arrays=self.arrays,
+            station_graph=self.station_graph,
         )
         self.setup_seconds = time.perf_counter() - t0
 
@@ -187,24 +202,39 @@ class BatchQueryEngine:
 
     # -- one-to-all batches --------------------------------------------
 
-    def profile_many(self, sources: Sequence[int]) -> BatchResult:
+    def profile_many(
+        self,
+        sources: Sequence[int],
+        *,
+        num_threads: Sequence[int | None] | None = None,
+    ) -> BatchResult:
         """Run one-to-all profile searches from many sources.
 
         Each element is a
         :class:`~repro.core.parallel.ParallelProfileResult`, identical
         to a fresh :func:`parallel_profile_search` call with this
-        engine's settings.
+        engine's settings.  ``num_threads``, when given, is a sequence
+        parallel to ``sources`` overriding the per-query connection
+        partitioning for individual searches (``None`` entries fall
+        back to the engine's ``num_threads``).
         """
-        indexed = list(enumerate(sources))
+        if num_threads is None:
+            num_threads = [None] * len(sources)
+        if len(num_threads) != len(sources):
+            raise ValueError(
+                f"num_threads must parallel sources: "
+                f"{len(num_threads)} vs {len(sources)}"
+            )
+        indexed = list(enumerate(zip(sources, num_threads)))
         t0 = time.perf_counter()
         if self.backend == "serial" or len(indexed) <= 1:
             effective = "serial"
-            results = [self._one_profile(s) for _, s in indexed]
+            results = [self._one_profile(s, p) for _, (s, p) in indexed]
         elif self.backend == "threads":
             effective = "threads"
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
                 results = list(
-                    pool.map(lambda it: self._one_profile(it[1]), indexed)
+                    pool.map(lambda it: self._one_profile(*it[1]), indexed)
                 )
         else:
             results, effective = self._run_forked(
@@ -218,15 +248,20 @@ class BatchQueryEngine:
 
     # -- internals ------------------------------------------------------
 
-    def _one_profile(self, source: int) -> ParallelProfileResult:
+    def _one_profile(
+        self, source: int, num_threads: int | None = None
+    ) -> ParallelProfileResult:
         return parallel_profile_search(
             self.graph,
             source,
-            self.num_threads,
+            num_threads if num_threads is not None else self.num_threads,
             strategy=self.strategy,
             backend="serial",
             queue=self.queue,
             kernel=self.kernel,
+            # Reuse the pack the inner engine already owns (one pack
+            # per dataset, however many query paths run over it).
+            arrays=self._engine._arrays,
         )
 
     def _run_forked(

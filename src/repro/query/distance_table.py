@@ -83,11 +83,19 @@ def build_distance_table(
     *,
     num_threads: int = 8,
     strategy: str = "equal-connections",
+    kernel: str = "python",
+    arrays=None,
 ) -> DistanceTable:
     """Precompute ``D`` by one parallel one-to-all run per transfer
     station (paper §5.2: "distance tables are computed by running our
     parallel one-to-all algorithm on 8 cores from every transfer
-    station")."""
+    station").
+
+    ``kernel``/``arrays`` select the per-search implementation exactly
+    as in :func:`~repro.core.parallel.parallel_profile_search`; both
+    kernels produce identical reduced profiles, so the stored table is
+    the same whichever builds it (the ``flat`` kernel is just faster).
+    """
     stations = np.asarray(sorted(set(int(s) for s in transfer_stations)), dtype=np.int64)
     for s in stations:
         if not graph.is_station_node(int(s)):
@@ -103,7 +111,12 @@ def build_distance_table(
     settled = 0
     for a, origin in enumerate(stations):
         result = parallel_profile_search(
-            graph, int(origin), num_threads, strategy=strategy
+            graph,
+            int(origin),
+            num_threads,
+            strategy=strategy,
+            kernel=kernel,
+            arrays=arrays,
         )
         settled += result.stats.settled_connections
         for b, dest in enumerate(stations):

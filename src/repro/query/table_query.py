@@ -17,6 +17,13 @@ The parallel setup mirrors §3.2: threads own disjoint connection
 subsets, and since all pruning state (``µ_{i,j}``, ``γ_i``, ``Tm``) is
 indexed per connection, sequentially sharing one pruner across thread
 runs is behaviourally identical to per-thread state.
+
+The :class:`~repro.service.TransitService` facade is the usual way to
+reach this engine (``service.journey``): it injects the shared
+prepared artifacts via the ``arrays=``/``station_graph=`` parameters
+so repeated engine construction over one dataset re-packs nothing
+(docs/API.md).  Direct construction stays supported and behaves
+identically.
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ from repro.core.partition import PARTITION_STRATEGIES
 from repro.core.spcs import PRUNE_CONNECTION, PRUNE_NODE, PRUNE_NONE
 from repro.core.parallel import KERNELS
 from repro.core.spcs_kernel import run_spcs_search
-from repro.graph.td_arrays import packed_arrays
+from repro.graph.td_arrays import TDGraphArrays, packed_arrays
 from repro.functions.algebra import Profile
 from repro.functions.piecewise import INF_TIME
 from repro.graph.station_graph import StationGraph, build_station_graph
@@ -220,6 +227,8 @@ class StationToStationEngine:
         target_pruning: bool = True,
         queue: str = "binary",
         kernel: str = "python",
+        arrays: TDGraphArrays | None = None,
+        station_graph: StationGraph | None = None,
     ) -> None:
         if kernel not in KERNELS:
             raise ValueError(
@@ -234,16 +243,29 @@ class StationToStationEngine:
         self.target_pruning = target_pruning and table is not None
         self.queue = queue
         self.kernel = kernel
-        self._arrays = packed_arrays(graph) if kernel == "flat" else None
-        if self._arrays is not None:
+        # Shared prepared artifacts (the service facade injects both so
+        # every engine over one dataset reuses one pack / one station
+        # graph); standalone construction falls back to the memoized
+        # pack cache and a fresh station graph.
+        if kernel == "flat":
+            self._arrays = arrays if arrays is not None else packed_arrays(graph)
             # Pay the kernel-side mirror build at engine construction,
             # not inside the first query's timed search loop.
             self._arrays.kernel_adjacency()
-        self.station_graph: StationGraph = build_station_graph(graph.timetable)
+        else:
+            self._arrays = None
+        self.station_graph: StationGraph = (
+            station_graph
+            if station_graph is not None
+            else build_station_graph(graph.timetable)
+        )
         num_stations = graph.num_stations
         self._transfer_mask = np.zeros(num_stations, dtype=bool)
         if table is not None:
             self._transfer_mask[table.transfer_stations] = True
+        #: Per-target via info, reused across queries to the same
+        #: target (the mask and station graph are fixed per engine).
+        self._via_cache: dict[int, ViaInfo] = {}
 
     def classify(self, source: int, target: int) -> tuple[str, ViaInfo | None]:
         """Classify a query; the via info is reused by the pruner."""
@@ -253,9 +275,12 @@ class StationToStationEngine:
             return "table", None
         if self.table is None or not self.table_pruning:
             return "local", None
-        via_info = compute_via_stations(
-            self.station_graph, target, self._transfer_mask
-        )
+        via_info = self._via_cache.get(target)
+        if via_info is None:
+            via_info = compute_via_stations(
+                self.station_graph, target, self._transfer_mask
+            )
+            self._via_cache[target] = via_info
         return via_info.classify(source), via_info
 
     def query(self, source: int, target: int) -> StationToStationResult:

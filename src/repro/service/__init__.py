@@ -1,0 +1,56 @@
+"""Service layer: the prepare-once / query-many facade (ROADMAP north
+star — the seam every scaling feature plugs into).
+
+* :mod:`repro.service.config` — :class:`ServiceConfig`, the typed,
+  eagerly validated knob set.
+* :mod:`repro.service.prepare` — :func:`prepare_dataset` and the
+  :class:`PreparedDataset` artifact snapshot with
+  :class:`PrepareStats` accounting.
+* :mod:`repro.service.model` — typed requests
+  (:class:`ProfileRequest`, :class:`JourneyRequest`,
+  :class:`BatchRequest`) and responses (:class:`ProfileResult`,
+  :class:`JourneyResult`, :class:`BatchResponse`, :class:`QueryStats`,
+  :class:`JourneyLeg`).
+* :mod:`repro.service.journeys` — leg reconstruction for concrete
+  departure times.
+* :mod:`repro.service.facade` — :class:`TransitService` itself.
+
+See ``docs/API.md`` for the lifecycle walk-through.
+"""
+
+from repro.service.config import SELECTION_METHODS, ServiceConfig
+from repro.service.facade import TransitService
+from repro.service.journeys import reconstruct_legs
+from repro.service.model import (
+    BatchRequest,
+    BatchResponse,
+    JourneyLeg,
+    JourneyRequest,
+    JourneyResult,
+    ProfileRequest,
+    ProfileResult,
+    QueryStats,
+)
+from repro.service.prepare import (
+    PreparedDataset,
+    PrepareStats,
+    prepare_dataset,
+)
+
+__all__ = [
+    "SELECTION_METHODS",
+    "ServiceConfig",
+    "TransitService",
+    "reconstruct_legs",
+    "BatchRequest",
+    "BatchResponse",
+    "JourneyLeg",
+    "JourneyRequest",
+    "JourneyResult",
+    "ProfileRequest",
+    "ProfileResult",
+    "QueryStats",
+    "PreparedDataset",
+    "PrepareStats",
+    "prepare_dataset",
+]

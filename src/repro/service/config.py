@@ -1,0 +1,128 @@
+"""Typed configuration of a :class:`~repro.service.TransitService`.
+
+One :class:`ServiceConfig` fixes *everything* that shapes prepared
+artifacts and query execution — kernel, batch backend, per-query core
+count, partition strategy, transfer-station selection, distance table
+on/off — so that a service instance is reproducible from ``(timetable,
+config)`` alone and two services with equal configs answer identically.
+
+All fields are validated eagerly at construction; an invalid
+combination fails before any preparation work starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.parallel import KERNELS
+from repro.core.partition import PARTITION_STRATEGIES
+from repro.pq import QUEUE_FACTORIES
+from repro.query.batch import BATCH_BACKENDS
+
+#: Valid ``transfer_selection`` values (see
+#: :func:`repro.query.transfer_selection.select_transfer_stations`).
+SELECTION_METHODS = ("contraction", "degree")
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """Everything a :class:`TransitService` needs beyond the timetable.
+
+    Query execution
+    ---------------
+    kernel
+        Per-subset search implementation, one of
+        :data:`~repro.core.parallel.KERNELS` (``flat`` is the
+        production default: identical answers, several times faster).
+    num_threads
+        Per-query connection partitioning (paper §3.2 simulated cores).
+        Also the core count used to build the distance table.
+    strategy
+        Partition strategy, a
+        :data:`~repro.core.partition.PARTITION_STRATEGIES` key.
+    queue
+        Priority queue of the ``python`` kernel (ignored by ``flat``).
+    backend / workers
+        How batched workloads distribute whole queries over a pool
+        (:data:`~repro.query.batch.BATCH_BACKENDS`).
+
+    Prepared artifacts
+    ------------------
+    use_distance_table
+        Build the transfer-station distance table at preparation time
+        (paper §4); off by default because the table pays off only on
+        query-heavy workloads.
+    transfer_selection / transfer_fraction / min_degree
+        How ``S_trans`` is chosen when the table is on: ``contraction``
+        keeps the ``transfer_fraction`` share of stations surviving
+        station-graph contraction longest, ``degree`` keeps stations of
+        degree > ``min_degree``.
+
+    Pruning toggles
+    ---------------
+    ``stopping`` (Theorem 2), ``table_pruning`` (Theorem 3),
+    ``target_pruning`` (Theorem 4), ``self_pruning`` (§3.1) — on by
+    default, exposed for ablations.
+    """
+
+    kernel: str = "flat"
+    num_threads: int = 1
+    strategy: str = "equal-connections"
+    queue: str = "binary"
+    backend: str = "serial"
+    workers: int = 4
+    use_distance_table: bool = False
+    transfer_selection: str = "contraction"
+    transfer_fraction: float = 0.05
+    min_degree: int = 2
+    stopping: bool = True
+    table_pruning: bool = True
+    target_pruning: bool = True
+    self_pruning: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; choose from {KERNELS}"
+            )
+        if self.backend not in BATCH_BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"choose from {BATCH_BACKENDS}"
+            )
+        if self.strategy not in PARTITION_STRATEGIES:
+            raise ValueError(
+                f"unknown partition strategy {self.strategy!r}; "
+                f"choose from {sorted(PARTITION_STRATEGIES)}"
+            )
+        if self.queue not in QUEUE_FACTORIES:
+            raise ValueError(
+                f"unknown queue {self.queue!r}; "
+                f"choose from {sorted(QUEUE_FACTORIES)}"
+            )
+        if self.transfer_selection not in SELECTION_METHODS:
+            raise ValueError(
+                f"unknown transfer selection {self.transfer_selection!r}; "
+                f"choose from {SELECTION_METHODS}"
+            )
+        if self.num_threads < 1:
+            raise ValueError(
+                f"need at least one thread, got {self.num_threads}"
+            )
+        if self.workers < 1:
+            raise ValueError(
+                f"need at least one worker, got {self.workers}"
+            )
+        if not (0.0 <= self.transfer_fraction <= 1.0):
+            raise ValueError(
+                f"transfer_fraction must be within [0, 1], "
+                f"got {self.transfer_fraction}"
+            )
+        if self.min_degree < 0:
+            raise ValueError(
+                f"min_degree must be non-negative, got {self.min_degree}"
+            )
+
+    def with_overrides(self, **changes) -> "ServiceConfig":
+        """A copy with the given fields replaced (re-validated)."""
+        return replace(self, **changes)

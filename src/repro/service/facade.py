@@ -1,0 +1,341 @@
+"""The :class:`TransitService` facade — prepare once, query many.
+
+One service instance owns every prepared artifact of one dataset (the
+time-dependent graph, the station graph, the packed arrays, the
+transfer stations and distance table) and answers every query shape of
+the paper through a typed request/response model:
+
+* :meth:`TransitService.profile` — one-to-all profile search (§3);
+* :meth:`TransitService.journey` — station-to-station query with
+  stopping criterion and distance-table pruning (§4), optionally with
+  concrete journey legs at a departure time;
+* :meth:`TransitService.batch` — batched workloads distributed over a
+  worker pool (the traffic-serving shape);
+* :meth:`TransitService.apply_delays` — the fully dynamic scenario
+  (§5.1): a new service for the delayed timetable that re-derives only
+  travel-time-dependent artifacts and shares the rest.
+
+The facade delegates to the same engines the pre-facade entry points
+used (:func:`~repro.core.parallel.parallel_profile_search`,
+:class:`~repro.query.table_query.StationToStationEngine`,
+:class:`~repro.query.batch.BatchQueryEngine`), injecting the shared
+artifacts — so answers are bitwise-identical to the historical paths
+(``tests/service/test_facade.py`` pins this).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.core.parallel import parallel_profile_search
+from repro.query.batch import BatchQueryEngine, BatchStats
+from repro.query.distance_table import DistanceTable
+from repro.query.table_query import (
+    StationToStationEngine,
+    StationToStationResult,
+)
+from repro.service.config import ServiceConfig
+from repro.service.journeys import reconstruct_legs
+from repro.service.model import (
+    BatchRequest,
+    BatchResponse,
+    JourneyRequest,
+    JourneyResult,
+    ProfileRequest,
+    ProfileResult,
+    QueryStats,
+)
+from repro.service.prepare import (
+    PreparedDataset,
+    PrepareStats,
+    prepare_dataset,
+)
+from repro.timetable.delays import Delay, apply_delays as _delay_timetable
+from repro.timetable.types import Timetable
+
+
+class TransitService:
+    """Facade over one prepared dataset (see module docstring).
+
+    Construction eagerly runs the prepare-once pipeline; every query
+    method afterwards only searches.  A service is immutable: delay
+    updates return a *new* service (:meth:`apply_delays`).
+    """
+
+    def __init__(
+        self,
+        timetable: Timetable,
+        config: ServiceConfig | None = None,
+        *,
+        prepared: PreparedDataset | None = None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        if prepared is None:
+            prepared = prepare_dataset(timetable, self.config)
+        self.prepared = prepared
+        cfg = self.config
+        # The one station-to-station engine every journey (single or
+        # batched-serial) goes through; construction is cheap because
+        # all artifacts are injected.
+        self._engine = StationToStationEngine(
+            prepared.graph,
+            prepared.table,
+            num_threads=cfg.num_threads,
+            strategy=cfg.strategy,
+            stopping=cfg.stopping,
+            table_pruning=cfg.table_pruning,
+            target_pruning=cfg.target_pruning,
+            queue=cfg.queue,
+            kernel=cfg.kernel,
+            arrays=prepared.arrays,
+            station_graph=prepared.station_graph,
+        )
+        self._batch_engine: BatchQueryEngine | None = None
+
+    @classmethod
+    def from_graph(
+        cls, graph, config: ServiceConfig | None = None
+    ) -> "TransitService":
+        """Build a service over an already-built time-dependent graph
+        (benchmarks sweeping many configs over one dataset skip the
+        repeated graph build this way)."""
+        config = config if config is not None else ServiceConfig()
+        prepared = prepare_dataset(graph.timetable, config, graph=graph)
+        return cls(graph.timetable, config, prepared=prepared)
+
+    # -- convenient read-only views ------------------------------------
+
+    @property
+    def timetable(self) -> Timetable:
+        return self.prepared.timetable
+
+    @property
+    def graph(self):
+        return self.prepared.graph
+
+    @property
+    def table(self) -> DistanceTable | None:
+        return self.prepared.table
+
+    @property
+    def prepare_stats(self) -> PrepareStats:
+        """Timing/size accounting of the prepare-once pipeline."""
+        return self.prepared.stats
+
+    # -- one-to-all profiles -------------------------------------------
+
+    def profile(
+        self, request: ProfileRequest | int, /
+    ) -> ProfileResult:
+        """Answer a :class:`ProfileRequest` (or a raw source station)."""
+        req = (
+            ProfileRequest(request) if isinstance(request, int) else request
+        )
+        cfg = self.config
+        prepared = self.prepared
+        num_threads = (
+            req.num_threads if req.num_threads is not None else cfg.num_threads
+        )
+        t0 = time.perf_counter()
+        raw = parallel_profile_search(
+            prepared.graph,
+            req.source,
+            num_threads,
+            strategy=cfg.strategy,
+            backend="serial",
+            self_pruning=cfg.self_pruning,
+            queue=cfg.queue,
+            kernel=cfg.kernel,
+            arrays=prepared.arrays,
+        )
+        total = time.perf_counter() - t0
+        stats = QueryStats(
+            kind="profile",
+            kernel=cfg.kernel,
+            num_threads=num_threads,
+            settled_connections=raw.stats.settled_connections,
+            simulated_seconds=raw.stats.simulated_time,
+            total_seconds=total,
+        )
+        return ProfileResult(source=req.source, stats=stats, raw=raw)
+
+    # -- station-to-station journeys -----------------------------------
+
+    def journey(
+        self,
+        request: JourneyRequest | int,
+        target: int | None = None,
+        *,
+        departure: int | None = None,
+    ) -> JourneyResult:
+        """Answer a :class:`JourneyRequest` (or raw source/target)."""
+        if isinstance(request, JourneyRequest):
+            req = request
+        else:
+            if target is None:
+                raise TypeError("journey(source, target) needs a target")
+            req = JourneyRequest(request, target, departure)
+        res = self._engine.query(req.source, req.target)
+        return self._wrap_journey(req, res)
+
+    # -- batched workloads ---------------------------------------------
+
+    def batch(
+        self, request: BatchRequest | Sequence[tuple[int, int]], /
+    ) -> BatchResponse:
+        """Answer a :class:`BatchRequest` (or raw (source, target)
+        pairs) on the configured pool backend."""
+        if not isinstance(request, BatchRequest):
+            request = BatchRequest.from_pairs(request)
+        engine = self._batch()
+        journeys: list[JourneyResult] = []
+        profiles: list[ProfileResult] = []
+        parts: list[BatchStats] = []
+        if request.journeys:
+            raw = engine.query_many(
+                [(j.source, j.target) for j in request.journeys]
+            )
+            journeys = [
+                self._wrap_journey(req, res)
+                for req, res in zip(request.journeys, raw)
+            ]
+            parts.append(raw.stats)
+        if request.profiles:
+            raw = engine.profile_many(
+                [p.source for p in request.profiles],
+                num_threads=[p.num_threads for p in request.profiles],
+            )
+            for req, res in zip(request.profiles, raw):
+                stats = QueryStats(
+                    kind="profile",
+                    kernel=self.config.kernel,
+                    num_threads=(
+                        req.num_threads
+                        if req.num_threads is not None
+                        else self.config.num_threads
+                    ),
+                    settled_connections=res.stats.settled_connections,
+                    simulated_seconds=res.stats.simulated_time,
+                    total_seconds=res.stats.total_time,
+                )
+                profiles.append(
+                    ProfileResult(source=req.source, stats=stats, raw=res)
+                )
+            parts.append(raw.stats)
+        return BatchResponse(
+            journeys=journeys,
+            profiles=profiles,
+            stats=self._merge_batch_stats(parts),
+        )
+
+    # -- delay replanning ----------------------------------------------
+
+    def apply_delays(
+        self,
+        delays: Sequence[Delay],
+        *,
+        slack_per_leg: int = 0,
+    ) -> "TransitService":
+        """A new service for the delayed timetable (§5.1).
+
+        Only travel-time-dependent artifacts are re-derived (graph,
+        packed arrays, distance table).  Delayed trains keep their
+        routes, so the station graph and the transfer-station
+        selection are *shared* with this service — answers are still
+        exactly those of a cold service built from the delayed
+        timetable (``tests/service/test_delay_replanning.py``).
+        """
+        delayed = _delay_timetable(
+            self.timetable, list(delays), slack_per_leg=slack_per_leg
+        )
+        prepared = prepare_dataset(
+            delayed,
+            self.config,
+            station_graph=self.prepared.station_graph,
+            transfer_stations=self.prepared.transfer_stations,
+        )
+        return TransitService(delayed, self.config, prepared=prepared)
+
+    # -- internals ------------------------------------------------------
+
+    def _batch(self) -> BatchQueryEngine:
+        if self._batch_engine is None:
+            cfg = self.config
+            prepared = self.prepared
+            self._batch_engine = BatchQueryEngine(
+                prepared.graph,
+                prepared.table,
+                kernel=cfg.kernel,
+                backend=cfg.backend,
+                workers=cfg.workers,
+                num_threads=cfg.num_threads,
+                strategy=cfg.strategy,
+                stopping=cfg.stopping,
+                table_pruning=cfg.table_pruning,
+                target_pruning=cfg.target_pruning,
+                queue=cfg.queue,
+                arrays=prepared.arrays,
+                station_graph=prepared.station_graph,
+            )
+        return self._batch_engine
+
+    def _wrap_journey(
+        self, req: JourneyRequest, res: StationToStationResult
+    ) -> JourneyResult:
+        stats = QueryStats(
+            kind="journey",
+            kernel=self.config.kernel,
+            num_threads=self.config.num_threads,
+            settled_connections=res.settled_connections,
+            simulated_seconds=res.simulated_time,
+            total_seconds=res.total_time,
+            classification=res.classification,
+            table_prunes=res.table_prunes,
+            connection_stops=res.connection_stops,
+        )
+        legs = None
+        arrival = None
+        if req.departure is not None:
+            legs, arrival = reconstruct_legs(
+                self.prepared.graph,
+                req.source,
+                req.target,
+                req.departure,
+                queue=self.config.queue,
+            )
+        return JourneyResult(
+            source=req.source,
+            target=req.target,
+            profile=res.profile,
+            stats=stats,
+            departure=req.departure,
+            arrival=arrival,
+            legs=legs,
+        )
+
+    def _merge_batch_stats(self, parts: list[BatchStats]) -> BatchStats:
+        engine = self._batch()
+        if not parts:
+            return BatchStats(
+                num_queries=0,
+                backend="serial",
+                kernel=self.config.kernel,
+                num_workers=1,
+                setup_seconds=engine.setup_seconds,
+                total_seconds=0.0,
+            )
+        if len(parts) == 1:
+            return parts[0]
+        # Journeys and profile searches ran as two sequential pool
+        # passes: queries and wall time add up; the backend/worker
+        # fields follow the wider (non-short-circuited) pass.
+        main = max(parts, key=lambda s: s.num_workers)
+        return BatchStats(
+            num_queries=sum(s.num_queries for s in parts),
+            backend=main.backend,
+            kernel=main.kernel,
+            num_workers=main.num_workers,
+            setup_seconds=engine.setup_seconds,
+            total_seconds=sum(s.total_seconds for s in parts),
+        )

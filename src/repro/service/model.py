@@ -1,0 +1,205 @@
+"""Typed request/response model of the :class:`TransitService` facade.
+
+Requests are small frozen dataclasses — cheap to build, hashable, and
+safe to log or ship across processes.  Responses pair the answer (a
+reduced :class:`~repro.functions.algebra.Profile`, journey legs) with
+per-query :class:`QueryStats`, the accounting every benchmark and the
+CLI read from one place.
+
+The correspondence with the underlying engines:
+
+=====================  ==============================================
+request                engine path
+=====================  ==============================================
+:class:`ProfileRequest`  :func:`~repro.core.parallel.parallel_profile_search`
+:class:`JourneyRequest`  :meth:`~repro.query.table_query.StationToStationEngine.query`
+:class:`BatchRequest`    :class:`~repro.query.batch.BatchQueryEngine`
+=====================  ==============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.parallel import ParallelProfileResult
+from repro.functions.algebra import Profile
+from repro.functions.piecewise import INF_TIME
+from repro.query.batch import BatchStats
+
+
+# ---------------------------------------------------------------------------
+# Requests
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class ProfileRequest:
+    """One-to-all profile search from ``source`` over a full period.
+
+    ``num_threads`` overrides the service config's per-query core count
+    for this request only (used by the scaling benchmarks, which sweep
+    p over one prepared dataset).
+    """
+
+    source: int
+    num_threads: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class JourneyRequest:
+    """Station-to-station query.
+
+    Without ``departure`` the answer is the full reduced profile (all
+    best connections over the period).  With ``departure`` the service
+    additionally evaluates the profile at that time and reconstructs
+    the concrete journey legs.
+    """
+
+    source: int
+    target: int
+    departure: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class BatchRequest:
+    """A batched workload: many journeys and/or many profile searches.
+
+    Execution is distributed over the service's configured pool
+    backend; answers come back in submission order and are identical
+    to issuing the requests one at a time.
+    """
+
+    journeys: tuple[JourneyRequest, ...] = ()
+    profiles: tuple[ProfileRequest, ...] = ()
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Sequence[tuple[int, int]]
+    ) -> "BatchRequest":
+        """Station-to-station workload from raw (source, target) pairs."""
+        return cls(
+            journeys=tuple(JourneyRequest(s, t) for s, t in pairs)
+        )
+
+    @classmethod
+    def from_sources(cls, sources: Sequence[int]) -> "BatchRequest":
+        """One-to-all workload from raw source stations."""
+        return cls(profiles=tuple(ProfileRequest(s) for s in sources))
+
+    def __len__(self) -> int:
+        return len(self.journeys) + len(self.profiles)
+
+
+# ---------------------------------------------------------------------------
+# Responses
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class QueryStats:
+    """Per-query work and time accounting, uniform across query paths.
+
+    ``simulated_seconds`` is the paper's simulated-cores wall clock
+    (slowest thread + merge); ``total_seconds`` the real wall clock of
+    the call.  ``classification`` is set for journeys only (trivial /
+    table / local / global); the pruning counters are non-zero only
+    when a distance table participated.
+    """
+
+    kind: str  # "profile" | "journey"
+    kernel: str
+    num_threads: int
+    settled_connections: int
+    simulated_seconds: float
+    total_seconds: float
+    classification: str | None = None
+    table_prunes: int = 0
+    connection_stops: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class JourneyLeg:
+    """One leg of a reconstructed journey.
+
+    ``departure`` is the time you must be at ``from_station`` ready to
+    travel (waiting for the leg's train is included in the leg);
+    ``arrival`` the time you reach ``to_station``.
+    """
+
+    from_station: int
+    to_station: int
+    departure: int
+    arrival: int
+
+    @property
+    def duration(self) -> int:
+        return self.arrival - self.departure
+
+
+@dataclass(slots=True)
+class JourneyResult:
+    """Answer to a :class:`JourneyRequest`.
+
+    ``profile`` always holds the full reduced profile.  When the
+    request carried a departure time, ``departure``/``arrival`` hold
+    the evaluated earliest arrival (``arrival`` is
+    :data:`~repro.functions.piecewise.INF_TIME` when unreachable) and
+    ``legs`` the reconstructed station-level itinerary (``None`` when
+    no departure was asked for or the target is unreachable).
+    """
+
+    source: int
+    target: int
+    profile: Profile
+    stats: QueryStats
+    departure: int | None = None
+    arrival: int | None = None
+    legs: tuple[JourneyLeg, ...] | None = None
+
+    @property
+    def reachable(self) -> bool:
+        if self.arrival is not None:
+            return self.arrival < INF_TIME
+        return len(self.profile) > 0 or self.source == self.target
+
+    def earliest_arrival(self, tau: int) -> int:
+        if self.source == self.target:
+            return tau
+        return self.profile.earliest_arrival(tau)
+
+
+@dataclass(slots=True)
+class ProfileResult:
+    """Answer to a :class:`ProfileRequest`: all best connections from
+    ``source`` to every station, plus accounting."""
+
+    source: int
+    stats: QueryStats
+    #: The underlying merged result (kept whole: label matrices are
+    #: shared, profiles are materialized per target on demand).
+    raw: ParallelProfileResult = field(repr=False)
+
+    def profile(self, station: int) -> Profile:
+        """Reduced profile ``dist(source, station, ·)``."""
+        return self.raw.profile(station)
+
+    def earliest_arrival(self, station: int, tau: int) -> int:
+        if station == self.source:
+            return tau
+        return self.profile(station).earliest_arrival(tau)
+
+
+@dataclass(slots=True)
+class BatchResponse:
+    """Answer to a :class:`BatchRequest`.
+
+    ``journeys``/``profiles`` are in submission order; ``stats``
+    aggregates throughput over the whole batch (journeys and profile
+    searches combined).
+    """
+
+    journeys: list[JourneyResult]
+    profiles: list[ProfileResult]
+    stats: BatchStats
+
+    def __len__(self) -> int:
+        return len(self.journeys) + len(self.profiles)

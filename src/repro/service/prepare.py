@@ -1,0 +1,185 @@
+"""Prepare-once artifact construction for :class:`TransitService`.
+
+The paper's pipeline is *one dataset prepared once, queried many
+times*: timetable → time-dependent graph → (optionally) transfer
+stations and the profile distance table.  :func:`prepare_dataset`
+performs that pipeline exactly once and returns a
+:class:`PreparedDataset` snapshot owning every shared artifact, with
+:class:`PrepareStats` timing and size accounting for benchmarks.
+
+Delay replanning (:meth:`TransitService.apply_delays`) re-derives only
+the artifacts delays can affect.  Delayed trains keep their routes, so
+the station graph and the transfer-station selection (a pure function
+of the station graph) are *shared* with the original dataset; the
+time-dependent graph, the packed arrays and the distance table carry
+travel times and are rebuilt.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.station_graph import StationGraph, build_station_graph
+from repro.graph.td_arrays import TDGraphArrays, packed_arrays
+from repro.graph.td_model import TDGraph, build_td_graph
+from repro.query.distance_table import DistanceTable, build_distance_table
+from repro.query.transfer_selection import select_transfer_stations
+from repro.service.config import ServiceConfig
+from repro.timetable.types import Timetable
+
+
+@dataclass(frozen=True, slots=True)
+class PrepareStats:
+    """Wall-clock and size accounting of one preparation run.
+
+    All times in seconds.  ``pack_seconds`` and ``packed_bytes`` are
+    zero for the ``python`` kernel (nothing is packed);
+    ``selection_seconds``/``table_seconds``/``table_mib`` are zero
+    when the distance table is off.  ``shared_station_graph`` records
+    whether the station graph (and transfer selection) were inherited
+    from a prior service instead of rebuilt (delay replanning).
+    """
+
+    graph_seconds: float
+    station_graph_seconds: float
+    pack_seconds: float
+    selection_seconds: float
+    table_seconds: float
+    total_seconds: float
+    num_stations: int
+    num_nodes: int
+    num_edges: int
+    num_connections: int
+    packed_bytes: int
+    num_transfer_stations: int
+    table_mib: float
+    shared_station_graph: bool = False
+
+
+@dataclass
+class PreparedDataset:
+    """Immutable snapshot of every shared artifact of one dataset.
+
+    Engines never rebuild any of these: the facade injects them into
+    :class:`~repro.query.table_query.StationToStationEngine`,
+    :class:`~repro.query.batch.BatchQueryEngine` and
+    :func:`~repro.core.parallel.parallel_profile_search`, so packing,
+    station-graph construction and table building happen at most once
+    per service instance (``tests/service/test_facade.py`` pins this
+    with call counters).
+    """
+
+    timetable: Timetable
+    config: ServiceConfig
+    graph: TDGraph
+    station_graph: StationGraph
+    #: Packed flat-array twin of ``graph``; ``None`` for the ``python``
+    #: kernel, which walks the object graph directly.
+    arrays: TDGraphArrays | None
+    #: Sorted transfer-station ids (``None`` when the table is off).
+    transfer_stations: np.ndarray | None
+    table: DistanceTable | None
+    stats: PrepareStats = field(repr=False)
+
+
+def prepare_dataset(
+    timetable: Timetable,
+    config: ServiceConfig,
+    *,
+    graph: TDGraph | None = None,
+    station_graph: StationGraph | None = None,
+    transfer_stations: np.ndarray | None = None,
+) -> PreparedDataset:
+    """Run the prepare-once pipeline for ``(timetable, config)``.
+
+    ``station_graph``/``transfer_stations`` inject artifacts surviving
+    a delay update (topology-only state); ``graph`` injects an
+    already-built time-dependent graph (benchmarks sweeping configs
+    over one dataset).  Pass none of them for a cold build.
+    """
+    t_start = time.perf_counter()
+
+    t0 = time.perf_counter()
+    if graph is None:
+        graph = build_td_graph(timetable)
+    graph_seconds = time.perf_counter() - t0
+
+    shared_station_graph = station_graph is not None
+    t0 = time.perf_counter()
+    if station_graph is None:
+        station_graph = build_station_graph(timetable)
+    station_graph_seconds = time.perf_counter() - t0
+
+    arrays: TDGraphArrays | None = None
+    pack_seconds = 0.0
+    packed_bytes = 0
+    if config.kernel == "flat":
+        t0 = time.perf_counter()
+        arrays = packed_arrays(graph)
+        # Build the kernel-side list mirrors here so every later query
+        # measures search work, not a one-time cache fill.
+        arrays.kernel_adjacency()
+        pack_seconds = time.perf_counter() - t0
+        packed_bytes = arrays.nbytes()
+
+    selection_seconds = 0.0
+    table_seconds = 0.0
+    table: DistanceTable | None = None
+    table_mib = 0.0
+    if config.use_distance_table:
+        t0 = time.perf_counter()
+        if transfer_stations is None:
+            transfer_stations = select_transfer_stations(
+                timetable,
+                method=config.transfer_selection,
+                fraction=config.transfer_fraction,
+                min_degree=config.min_degree,
+                station_graph=station_graph,
+            )
+        selection_seconds = time.perf_counter() - t0
+        if transfer_stations.size:
+            t0 = time.perf_counter()
+            table = build_distance_table(
+                graph,
+                transfer_stations,
+                num_threads=config.num_threads,
+                strategy=config.strategy,
+                kernel=config.kernel,
+                arrays=arrays,
+            )
+            table_seconds = time.perf_counter() - t0
+            table_mib = table.size_mib()
+    else:
+        transfer_stations = None
+
+    stats = PrepareStats(
+        graph_seconds=graph_seconds,
+        station_graph_seconds=station_graph_seconds,
+        pack_seconds=pack_seconds,
+        selection_seconds=selection_seconds,
+        table_seconds=table_seconds,
+        total_seconds=time.perf_counter() - t_start,
+        num_stations=timetable.num_stations,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        num_connections=len(timetable.connections),
+        packed_bytes=packed_bytes,
+        num_transfer_stations=(
+            0 if transfer_stations is None else int(transfer_stations.size)
+        ),
+        table_mib=table_mib,
+        shared_station_graph=shared_station_graph,
+    )
+    return PreparedDataset(
+        timetable=timetable,
+        config=config,
+        graph=graph,
+        station_graph=station_graph,
+        arrays=arrays,
+        transfer_stations=transfer_stations,
+        table=table,
+        stats=stats,
+    )

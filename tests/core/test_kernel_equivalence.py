@@ -201,3 +201,28 @@ def test_kernel_empty_subset_returns_empty_result():
     result = spcs_kernel_search(arrays, 0, connection_subset=[])
     assert result.labels.shape == (graph.num_nodes, 0)
     assert result.stats.settled_connections == 0
+
+
+@pytest.mark.parametrize(
+    "name,seed",
+    [pytest.param(n, s, id=f"{n}-s{s}") for n in CONFIGS for s in range(2)],
+)
+def test_transit_service_matches_oracle_paths(name, seed):
+    """The TransitService facade on the same oracle instances: its
+    profile answers must equal both direct kernel runs and the Python
+    reference, for either configured kernel (the facade adds routing
+    and artifact sharing, never semantics)."""
+    from repro.service import ServiceConfig, TransitService
+
+    graph, arrays = _case(name, seed)
+    python = spcs_profile_search(graph, 0)
+    for kernel in ("python", "flat"):
+        service = TransitService.from_graph(
+            graph, ServiceConfig(kernel=kernel)
+        )
+        result = service.profile(0)
+        for station in range(graph.num_stations):
+            assert result.profile(station) == python.profile(station), (
+                f"facade[{kernel}] vs python SPCS differ at station "
+                f"{station} ({name}, seed {seed})"
+            )

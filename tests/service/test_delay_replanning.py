@@ -1,0 +1,117 @@
+"""Delay replanning parity: ``service.apply_delays(...)`` ≡ a cold
+service built from the delayed timetable.
+
+``apply_delays`` shares the station graph and transfer-station
+selection with the original service (delays never change route
+topology) and rebuilds only the travel-time-dependent artifacts.  The
+contract: answers after replanning are *bitwise identical* to a
+``TransitService`` constructed from scratch on the delayed timetable —
+on profile, journey and batch paths, with and without a distance
+table, on at least two synthetic instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service import BatchRequest, ServiceConfig, TransitService
+from repro.synthetic.instances import make_instance
+from repro.synthetic.workloads import random_station_pairs
+from repro.timetable.delays import Delay, apply_delays
+
+from tests.helpers import random_line_timetable
+
+
+def assert_profiles_bitwise_equal(expected, got, context=""):
+    assert got.period == expected.period, context
+    assert np.array_equal(got.deps, expected.deps), context
+    assert np.array_equal(got.arrs, expected.arrs), context
+
+
+def _instances():
+    return [
+        ("oahu-tiny", make_instance("oahu", scale="tiny")),
+        ("germany-tiny", make_instance("germany", scale="tiny")),
+        ("random-line", random_line_timetable(42, num_stations=8, num_lines=5)),
+    ]
+
+
+DELAYS = [Delay(train=0, minutes=25), Delay(train=2, minutes=40, from_stop=1)]
+
+
+@pytest.mark.parametrize(
+    "name,timetable", _instances(), ids=lambda v: v if isinstance(v, str) else ""
+)
+@pytest.mark.parametrize("with_table", (False, True), ids=["plain", "table"])
+def test_apply_delays_matches_cold_service(name, timetable, with_table):
+    config = ServiceConfig(
+        kernel="flat",
+        num_threads=2,
+        use_distance_table=with_table,
+        transfer_fraction=0.3,
+    )
+    warm = TransitService(timetable, config).apply_delays(DELAYS)
+    cold = TransitService(
+        apply_delays(timetable, DELAYS), config
+    )
+
+    # Replanning must not silently change the dataset identity.
+    assert warm.timetable.num_stations == cold.timetable.num_stations
+    assert [c.dep_time for c in warm.timetable.connections] == [
+        c.dep_time for c in cold.timetable.connections
+    ]
+
+    pairs = random_station_pairs(timetable, 6, seed=9)
+    for s, t in pairs:
+        assert_profiles_bitwise_equal(
+            cold.journey(s, t).profile,
+            warm.journey(s, t).profile,
+            f"{name}[{with_table}]: journey {s}->{t}",
+        )
+    for source in {s for s, _ in pairs}:
+        cold_p = cold.profile(source)
+        warm_p = warm.profile(source)
+        for target in range(timetable.num_stations):
+            assert_profiles_bitwise_equal(
+                cold_p.profile(target),
+                warm_p.profile(target),
+                f"{name}[{with_table}]: profile {source}->{target}",
+            )
+
+
+def test_apply_delays_shares_topology_artifacts():
+    timetable = make_instance("oahu", scale="tiny")
+    config = ServiceConfig(
+        kernel="flat", use_distance_table=True, transfer_fraction=0.3
+    )
+    service = TransitService(timetable, config)
+    delayed = service.apply_delays([Delay(train=1, minutes=15)])
+
+    assert delayed.prepare_stats.shared_station_graph
+    assert delayed.prepared.station_graph is service.prepared.station_graph
+    assert (
+        delayed.prepared.transfer_stations
+        is service.prepared.transfer_stations
+    )
+    # Travel-time-dependent artifacts are fresh.
+    assert delayed.prepared.graph is not service.prepared.graph
+    assert delayed.prepared.arrays is not service.prepared.arrays
+    assert delayed.prepared.table is not service.prepared.table
+    # And slack-recovery plumbs through.
+    recovered = service.apply_delays(
+        [Delay(train=1, minutes=15)], slack_per_leg=5
+    )
+    assert recovered.timetable.name.endswith("+delays")
+
+
+def test_apply_delays_batch_parity():
+    timetable = random_line_timetable(7, num_stations=9, num_lines=5)
+    config = ServiceConfig(kernel="flat", num_threads=2)
+    warm = TransitService(timetable, config).apply_delays(DELAYS)
+    cold = TransitService(apply_delays(timetable, DELAYS), config)
+    pairs = random_station_pairs(timetable, 5, seed=1)
+    warm_batch = warm.batch(BatchRequest.from_pairs(pairs))
+    cold_batch = cold.batch(BatchRequest.from_pairs(pairs))
+    for w, c in zip(warm_batch.journeys, cold_batch.journeys):
+        assert_profiles_bitwise_equal(c.profile, w.profile)

@@ -114,3 +114,48 @@ class TestArgumentValidation:
     def test_unknown_instance_rejected(self):
         with pytest.raises(SystemExit):
             main(["info", "--instance", "narnia"])
+
+
+class TestBatchJson:
+    def test_json_summary_is_single_json_line(self, capsys):
+        assert main([
+            "batch", "--instance", "oahu", "--scale", "tiny",
+            "--n-queries", "4", "--seed", "2", "--json",
+        ]) == 0
+        out = capsys.readouterr().out
+        import json
+
+        lines = [line for line in out.splitlines() if line]
+        assert len(lines) == 1, f"--json must emit exactly one line: {out!r}"
+        summary = json.loads(lines[0])
+        assert summary["num_queries"] == 4
+        assert summary["seed"] == 2
+        assert summary["queries_per_second"] > 0
+        assert sum(summary["classifications"].values()) == 4
+
+    def test_json_stays_clean_with_distance_table(self, capsys):
+        """The human-readable distance-table line must not leak into
+        stdout when --json is on (regression: corrupted JSON)."""
+        assert main([
+            "batch", "--instance", "oahu", "--scale", "tiny",
+            "--n-queries", "3", "--json", "--transfer-fraction", "0.3",
+        ]) == 0
+        out = capsys.readouterr().out
+        import json
+
+        summary = json.loads(out)  # whole stdout must parse as one doc
+        assert summary["transfer_stations"] > 0
+        assert summary["table_mib"] > 0
+
+    def test_seed_changes_workload(self, capsys):
+        outputs = []
+        for seed in ("0", "1"):
+            assert main([
+                "batch", "--instance", "oahu", "--scale", "tiny",
+                "--n-queries", "5", "--seed", seed,
+            ]) == 0
+            outputs.append(capsys.readouterr().out)
+        pairs = [
+            [l for l in out.splitlines() if "→" in l] for out in outputs
+        ]
+        assert pairs[0] != pairs[1]
