@@ -30,6 +30,12 @@ facade prepare everything once and answer every query shape::
     service.batch([(0, 5), (3, 9)])            # batched workload
     service.apply_delays([Delay(train=2, minutes=10)])  # replanning
 
+Persist the prepared artifacts once and warm-start later processes in
+milliseconds (no builds, bitwise-identical answers)::
+
+    service.save("stores/oahu")
+    warm = TransitService.load("stores/oahu")
+
 The lower-level building blocks remain available for research use::
 
     from repro import (
@@ -74,6 +80,7 @@ from repro.query import (
     compute_via_stations,
     select_transfer_stations,
 )
+from repro.store import StoreError, describe_store, load_dataset, save_dataset
 from repro.service import (
     BatchRequest,
     BatchResponse,
@@ -139,6 +146,10 @@ __all__ = [
     "PreparedDataset",
     "PrepareStats",
     "prepare_dataset",
+    "StoreError",
+    "describe_store",
+    "load_dataset",
+    "save_dataset",
     "make_instance",
     "__version__",
 ]

@@ -4,6 +4,7 @@ Subcommands::
 
     generate   emit a named synthetic instance as a GTFS-like feed
     info       summarize a timetable (stations, connections, density)
+    prepare    build every prepared artifact and persist it to a store
     profile    one-to-all profile query from a station
     query      station-to-station profile query
     batch      run a batched random query workload (throughput check)
@@ -18,8 +19,16 @@ the CLI builds one service per invocation (prepare once) and issues
 typed requests against it.  ``batch --json`` emits a one-line JSON
 throughput summary for scriptable perf tracking.
 
-Timetables are read either from a GTFS-like directory (``--gtfs DIR``)
-or generated on the fly (``--instance NAME [--scale SCALE]``).
+Timetables are read from a GTFS-like directory (``--gtfs DIR``),
+generated on the fly (``--instance NAME [--scale SCALE]``), or — for
+the query commands — warm-started from an artifact store written by
+``prepare --store DIR`` (``--from-store DIR``).  A warm start skips
+every build (graph, packing, station graph, distance table) and runs
+under the configuration the store was prepared with; the
+preparation-shaping ``--kernel`` and ``--transfer-fraction`` are
+therefore rejected next to ``--from-store`` (re-run ``prepare`` to
+change them), while the runtime-only ``--cores`` / ``--backend`` /
+``--workers`` still apply when given explicitly.
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ from repro.core import KERNELS
 from repro.graph import build_td_graph
 from repro.query import BATCH_BACKENDS
 from repro.service import BatchRequest, ServiceConfig, TransitService
+from repro.store import StoreError, describe_store
 from repro.synthetic.workloads import random_station_pairs
 from repro.synthetic import INSTANCE_NAMES, make_instance
 from repro.timetable.gtfs import load_gtfs, save_gtfs
@@ -41,31 +51,48 @@ from repro.timetable.periodic import format_time
 from repro.timetable.types import Timetable
 
 
-def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_input_arguments(
+    parser: argparse.ArgumentParser, *, allow_store: bool = False
+) -> None:
     group = parser.add_mutually_exclusive_group(required=True)
     group.add_argument(
         "--instance", choices=INSTANCE_NAMES, help="synthetic instance name"
     )
     group.add_argument("--gtfs", help="GTFS-like feed directory")
+    if allow_store:
+        group.add_argument(
+            "--from-store",
+            metavar="DIR",
+            help="warm-start from an artifact store written by "
+            "`prepare --store` (skips every build; the stored config "
+            "governs, see module help)",
+        )
+    # Store-capable commands default the instance-shaping flags to
+    # None so an explicit value next to --from-store can be rejected
+    # instead of silently ignored; _load resolves the defaults.
     parser.add_argument(
         "--scale",
-        default="small",
+        default=None if allow_store else "small",
         choices=("tiny", "small", "medium"),
-        help="synthetic instance scale (default: small)",
+        help="synthetic instance scale (default: small; not valid "
+        "with --from-store)" if allow_store
+        else "synthetic instance scale (default: small)",
     )
     parser.add_argument(
         "--seed",
         type=int,
-        default=0,
+        default=None if allow_store else 0,
         help="seed for synthetic-instance generation (and, for batch, "
-        "the random query workload)",
+        "the random query workload; default: 0)",
     )
 
 
 def _load(args: argparse.Namespace) -> Timetable:
     if args.gtfs:
         return load_gtfs(args.gtfs)
-    return make_instance(args.instance, args.scale, args.seed)
+    scale = args.scale if args.scale is not None else "small"
+    seed = args.seed if args.seed is not None else 0
+    return make_instance(args.instance, scale, seed)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -92,6 +119,7 @@ def _make_service(
     timetable: Timetable,
     *,
     quiet: bool = False,
+    cores: int = 4,
     **overrides,
 ) -> TransitService:
     """One prepared service per CLI invocation (the facade owns the
@@ -101,10 +129,11 @@ def _make_service(
     required by ``batch --json``, whose stdout must be exactly one
     JSON document.
     """
-    fraction = getattr(args, "transfer_fraction", 0.0)
+    fraction = getattr(args, "transfer_fraction", None) or 0.0
+    kernel = getattr(args, "kernel", None) or "flat"
     config = ServiceConfig(
-        kernel=args.kernel,
-        num_threads=args.cores,
+        kernel=kernel,
+        num_threads=cores,
         use_distance_table=fraction > 0,
         transfer_fraction=fraction if fraction > 0 else 0.05,
         **overrides,
@@ -120,14 +149,90 @@ def _make_service(
     return service
 
 
-def _cmd_profile(args: argparse.Namespace) -> int:
+def _service_from_args(
+    args: argparse.Namespace,
+    *,
+    quiet: bool = False,
+    default_cores: int = 4,
+    backend: str | None = None,
+    workers: int | None = None,
+    seed_is_runtime: bool = False,
+) -> TransitService:
+    """The query commands' service: warm from ``--from-store`` when
+    given, otherwise a fresh prepare.
+
+    A warm start runs under the stored config; only the runtime-only
+    flags the user passed explicitly (``--cores``, ``--backend``,
+    ``--workers`` default to ``None`` on store-capable commands)
+    override it.  Flags that shape the prepared dataset (``--kernel``,
+    ``--transfer-fraction``, ``--scale``, and ``--seed`` except where
+    it seeds the query workload, ``seed_is_runtime``) are rejected
+    next to ``--from-store`` — silently ignoring them would misreport
+    what was measured.  A fresh prepare resolves every flag to the
+    documented defaults.
+    """
+    store = getattr(args, "from_store", None)
+    cores = getattr(args, "cores", None)
+    if store:
+        rejected = [
+            ("--kernel", getattr(args, "kernel", None)),
+            ("--transfer-fraction", getattr(args, "transfer_fraction", None)),
+            ("--scale", getattr(args, "scale", None)),
+        ]
+        if not seed_is_runtime:
+            rejected.append(("--seed", getattr(args, "seed", None)))
+        for flag, value in rejected:
+            if value is not None:
+                raise SystemExit(
+                    f"error: {flag} cannot be combined with --from-store "
+                    f"(it shapes the prepared dataset; the store governs — "
+                    f"re-run `prepare` to change it)"
+                )
+        try:
+            service = TransitService.load(store)
+        except StoreError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        runtime = {
+            key: value
+            for key, value in (
+                ("num_threads", cores),
+                ("backend", backend),
+                ("workers", workers),
+            )
+            if value is not None
+        }
+        if runtime:
+            service = service.with_runtime_overrides(**runtime)
+        if not quiet:
+            stats = service.prepare_stats
+            print(
+                f"warm start from {store}: {stats.num_stations} stations, "
+                f"{stats.num_connections} connections loaded in "
+                f"{stats.total_seconds * 1000:.1f} ms (no builds)"
+            )
+        return service
     timetable = _load(args)
-    service = _make_service(args, timetable)
+    return _make_service(
+        args,
+        timetable,
+        quiet=quiet,
+        cores=cores if cores is not None else default_cores,
+        **{
+            key: value
+            for key, value in (("backend", backend), ("workers", workers))
+            if value is not None
+        },
+    )
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    service = _service_from_args(args)
+    timetable = service.timetable
     result = service.profile(args.source)
     stats = result.stats
     print(
-        f"one-to-all from station {args.source} on {args.cores} cores: "
-        f"{stats.settled_connections} settled connections, "
+        f"one-to-all from station {args.source} on {stats.num_threads} "
+        f"cores: {stats.settled_connections} settled connections, "
         f"simulated time {stats.simulated_seconds * 1000:.1f} ms"
     )
     targets = (
@@ -147,8 +252,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    timetable = _load(args)
-    service = _make_service(args, timetable)
+    service = _service_from_args(args)
     result = service.journey(args.source, args.target)
     stats = result.stats
     print(
@@ -164,15 +268,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    timetable = _load(args)
-    service = _make_service(
+    # --seed also seeds the random query workload here, so it stays
+    # legal (and meaningful) next to --from-store.
+    seed = args.seed if args.seed is not None else 0
+    args.seed = seed
+    service = _service_from_args(
         args,
-        timetable,
         quiet=args.json,
+        default_cores=1,
         backend=args.backend,
         workers=args.workers,
+        seed_is_runtime=True,
     )
-    pairs = random_station_pairs(timetable, args.n_queries, seed=args.seed)
+    timetable = service.timetable
+    pairs = random_station_pairs(timetable, args.n_queries, seed=seed)
     batch = service.batch(BatchRequest.from_pairs(pairs))
     stats = batch.stats
     settled = sum(r.stats.settled_connections for r in batch.journeys)
@@ -226,6 +335,28 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_prepare(args: argparse.Namespace) -> int:
+    timetable = _load(args)
+    service = _make_service(args, timetable, cores=args.cores)
+    service.save(args.store)
+    info = describe_store(args.store)
+    stats = service.prepare_stats
+    print(
+        f"prepared {timetable.summary()}\n"
+        f"  graph {stats.graph_seconds * 1000:.1f} ms, "
+        f"pack {stats.pack_seconds * 1000:.1f} ms, "
+        f"station graph {stats.station_graph_seconds * 1000:.1f} ms, "
+        f"table {stats.table_seconds * 1000:.1f} ms "
+        f"(total {stats.total_seconds * 1000:.1f} ms)\n"
+        f"store written to {args.store}: "
+        f"{info['total_bytes'] / 1024:.1f} KiB "
+        f"(format v{info['format_version']}, "
+        f"config {info['config_hash'][:12]}…)\n"
+        f"warm-start with: --from-store {args.store}"
+    )
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     result = run_table1(
         args.instance,
@@ -267,47 +398,88 @@ def build_parser() -> argparse.ArgumentParser:
     _add_input_arguments(p_info)
     p_info.set_defaults(func=_cmd_info)
 
-    p_profile = sub.add_parser("profile", help="one-to-all profile query")
-    _add_input_arguments(p_profile)
-    p_profile.add_argument("--source", type=int, required=True)
-    p_profile.add_argument("--target", type=int, default=None)
-    p_profile.add_argument("--cores", type=int, default=4)
-    p_profile.add_argument("--max-points", type=int, default=6)
-    p_profile.add_argument("--kernel", choices=KERNELS, default="flat")
-    p_profile.set_defaults(func=_cmd_profile)
-
-    p_query = sub.add_parser("query", help="station-to-station query")
-    _add_input_arguments(p_query)
-    p_query.add_argument("--source", type=int, required=True)
-    p_query.add_argument("--target", type=int, required=True)
-    p_query.add_argument("--cores", type=int, default=4)
-    p_query.add_argument(
+    p_prepare = sub.add_parser(
+        "prepare",
+        help="build every prepared artifact and persist it to a store",
+    )
+    _add_input_arguments(p_prepare)
+    p_prepare.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help="artifact-store directory to write (created if missing)",
+    )
+    p_prepare.add_argument("--cores", type=int, default=4)
+    p_prepare.add_argument("--kernel", choices=KERNELS, default="flat")
+    p_prepare.add_argument(
         "--transfer-fraction",
         type=float,
         default=0.0,
         help="fraction of stations to use as transfer stations (0 = no table)",
     )
-    p_query.add_argument("--kernel", choices=KERNELS, default="flat")
+    p_prepare.set_defaults(func=_cmd_prepare)
+
+    p_profile = sub.add_parser("profile", help="one-to-all profile query")
+    _add_input_arguments(p_profile, allow_store=True)
+    p_profile.add_argument("--source", type=int, required=True)
+    p_profile.add_argument("--target", type=int, default=None)
+    p_profile.add_argument(
+        "--cores", type=int, default=None, help="per-query cores (default: 4)"
+    )
+    p_profile.add_argument("--max-points", type=int, default=6)
+    p_profile.add_argument(
+        "--kernel", choices=KERNELS, default=None,
+        help="search kernel (default: flat; not valid with --from-store)",
+    )
+    p_profile.set_defaults(func=_cmd_profile)
+
+    p_query = sub.add_parser("query", help="station-to-station query")
+    _add_input_arguments(p_query, allow_store=True)
+    p_query.add_argument("--source", type=int, required=True)
+    p_query.add_argument("--target", type=int, required=True)
+    p_query.add_argument(
+        "--cores", type=int, default=None, help="per-query cores (default: 4)"
+    )
+    p_query.add_argument(
+        "--transfer-fraction",
+        type=float,
+        default=None,
+        help="fraction of stations to use as transfer stations "
+        "(default: 0 = no table; not valid with --from-store)",
+    )
+    p_query.add_argument(
+        "--kernel", choices=KERNELS, default=None,
+        help="search kernel (default: flat; not valid with --from-store)",
+    )
     p_query.set_defaults(func=_cmd_query)
 
     p_batch = sub.add_parser(
         "batch", help="batched random query workload (throughput check)"
     )
-    _add_input_arguments(p_batch)
+    _add_input_arguments(p_batch, allow_store=True)
     p_batch.add_argument(
         "--n-queries", type=int, default=20, help="random (source, target) pairs"
     )
-    p_batch.add_argument("--cores", type=int, default=1)
     p_batch.add_argument(
-        "--workers", type=int, default=4, help="pool workers distributing queries"
+        "--cores", type=int, default=None, help="per-query cores (default: 1)"
     )
-    p_batch.add_argument("--backend", choices=BATCH_BACKENDS, default="serial")
-    p_batch.add_argument("--kernel", choices=KERNELS, default="flat")
+    p_batch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool workers distributing queries (default: 4)",
+    )
+    p_batch.add_argument("--backend", choices=BATCH_BACKENDS, default=None)
+    p_batch.add_argument(
+        "--kernel", choices=KERNELS, default=None,
+        help="search kernel (default: flat; not valid with --from-store)",
+    )
     p_batch.add_argument(
         "--transfer-fraction",
         type=float,
-        default=0.0,
-        help="fraction of stations to use as transfer stations (0 = no table)",
+        default=None,
+        help="fraction of stations to use as transfer stations "
+        "(default: 0 = no table; not valid with --from-store)",
     )
     p_batch.add_argument(
         "--json",

@@ -37,6 +37,7 @@ direct construction stays supported and behaves identically
 
 from __future__ import annotations
 
+import itertools
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -52,19 +53,24 @@ from repro.query.table_query import StationToStationEngine, StationToStationResu
 #: Valid ``backend`` arguments of :class:`BatchQueryEngine`.
 BATCH_BACKENDS = ("serial", "threads", "processes")
 
-# Fork-worker state (inherited copy-on-write; see _run_forked).
-_BATCH_STATE: dict[str, object] = {}
+# Fork-worker state (inherited copy-on-write; see _run_forked), keyed
+# by a token unique to the issuing engine so concurrent fan-outs from
+# different engines never clobber each other; each work item carries
+# its engine's token, which forked workers resolve against their
+# inherited copy of this dict.
+_BATCH_STATE: dict[int, object] = {}
+_STATE_TOKENS = itertools.count()
 
 
-def _query_worker(indexed: tuple[int, tuple[int, int]]):
-    idx, (source, target) = indexed
-    engine: StationToStationEngine = _BATCH_STATE["engine"]  # type: ignore[assignment]
+def _query_worker(payload: tuple[int, int, tuple[int, int]]):
+    token, idx, (source, target) = payload
+    engine: StationToStationEngine = _BATCH_STATE[token]  # type: ignore[assignment]
     return idx, engine.query(source, target)
 
 
-def _profile_worker(indexed: tuple[int, tuple[int, int | None]]):
-    idx, (source, num_threads) = indexed
-    batch: BatchQueryEngine = _BATCH_STATE["batch"]  # type: ignore[assignment]
+def _profile_worker(payload: tuple[int, int, tuple[int, int | None]]):
+    token, idx, (source, num_threads) = payload
+    batch: BatchQueryEngine = _BATCH_STATE[token]  # type: ignore[assignment]
     return idx, batch._one_profile(source, num_threads)
 
 
@@ -192,7 +198,7 @@ class BatchQueryEngine:
                 )
         else:
             results, effective = self._run_forked(
-                _query_worker, indexed, "engine", self._engine
+                _query_worker, indexed, self._engine
             )
         total = time.perf_counter() - t0
         return BatchResult(
@@ -238,7 +244,7 @@ class BatchQueryEngine:
                 )
         else:
             results, effective = self._run_forked(
-                _profile_worker, indexed, "batch", self
+                _profile_worker, indexed, self
             )
         total = time.perf_counter() - t0
         return BatchResult(
@@ -265,27 +271,36 @@ class BatchQueryEngine:
         )
 
     def _run_forked(
-        self, worker, indexed, state_key, state_value
+        self, worker, indexed, state_value
     ) -> tuple[list, str]:
         """Run ``worker`` over a fork pool; returns the ordered results
         and the backend that actually executed (``threads`` when the
-        platform has no fork)."""
+        platform has no fork).
+
+        ``state_value`` is registered in :data:`_BATCH_STATE` under a
+        fresh token for the duration of the fan-out, and every work
+        item is tagged with that token — so two engines (or two
+        concurrent batches on one engine) forking at the same time each
+        resolve their own state instead of clobbering a shared key.
+        """
         import multiprocessing as mp
 
-        _BATCH_STATE[state_key] = state_value
+        token = next(_STATE_TOKENS)
+        payloads = [(token, idx, item) for idx, item in indexed]
+        _BATCH_STATE[token] = state_value
         try:
             try:
                 ctx = mp.get_context("fork")
             except ValueError:  # pragma: no cover - non-POSIX fallback
                 effective = "threads"
                 with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                    out = list(pool.map(worker, indexed))
+                    out = list(pool.map(worker, payloads))
             else:
                 effective = "processes"
                 with ctx.Pool(processes=self.workers) as pool:
-                    out = pool.map(worker, indexed)
+                    out = pool.map(worker, payloads)
         finally:
-            _BATCH_STATE.pop(state_key, None)
+            _BATCH_STATE.pop(token, None)
         out.sort(key=lambda pair: pair[0])
         return [r for _, r in out], effective
 

@@ -13,12 +13,20 @@ star — the seam every scaling feature plugs into).
   :class:`JourneyLeg`).
 * :mod:`repro.service.journeys` — leg reconstruction for concrete
   departure times.
-* :mod:`repro.service.facade` — :class:`TransitService` itself.
+* :mod:`repro.service.cache` — the per-service LRU result cache
+  (:class:`LRUResultCache`, :class:`CacheStats`).
+* :mod:`repro.service.facade` — :class:`TransitService` itself,
+  including persistence (``save``/``load`` over :mod:`repro.store`).
 
 See ``docs/API.md`` for the lifecycle walk-through.
 """
 
-from repro.service.config import SELECTION_METHODS, ServiceConfig
+from repro.service.cache import CacheStats, LRUResultCache
+from repro.service.config import (
+    RUNTIME_FIELDS,
+    SELECTION_METHODS,
+    ServiceConfig,
+)
 from repro.service.facade import TransitService
 from repro.service.journeys import reconstruct_legs
 from repro.service.model import (
@@ -38,8 +46,11 @@ from repro.service.prepare import (
 )
 
 __all__ = [
+    "RUNTIME_FIELDS",
     "SELECTION_METHODS",
     "ServiceConfig",
+    "CacheStats",
+    "LRUResultCache",
     "TransitService",
     "reconstruct_legs",
     "BatchRequest",

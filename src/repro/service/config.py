@@ -23,6 +23,29 @@ from repro.query.batch import BATCH_BACKENDS
 #: :func:`repro.query.transfer_selection.select_transfer_stations`).
 SELECTION_METHODS = ("contraction", "degree")
 
+#: Config fields that shape query *execution* only, never the prepared
+#: artifacts: changing one over an existing :class:`PreparedDataset`
+#: (``TransitService.with_runtime_overrides``) is always sound.  Every
+#: other field changes what preparation produces (kernel packs arrays,
+#: the transfer knobs pick ``S_trans``, …) and requires a fresh
+#: prepare — and hence a fresh artifact store.  ``num_threads`` and
+#: ``strategy`` also steer the distance-table *build*, but only its
+#: parallelism/partitioning, never the stored profiles.
+RUNTIME_FIELDS = frozenset(
+    {
+        "num_threads",
+        "strategy",
+        "queue",
+        "backend",
+        "workers",
+        "result_cache_size",
+        "stopping",
+        "table_pruning",
+        "target_pruning",
+        "self_pruning",
+    }
+)
+
 
 @dataclass(frozen=True, slots=True)
 class ServiceConfig:
@@ -45,6 +68,10 @@ class ServiceConfig:
     backend / workers
         How batched workloads distribute whole queries over a pool
         (:data:`~repro.query.batch.BATCH_BACKENDS`).
+    result_cache_size
+        Capacity of the per-service LRU cache over profile / journey /
+        batch answers (:mod:`repro.service.cache`); ``0`` disables
+        caching.  Runtime-only: it never shapes prepared artifacts.
 
     Prepared artifacts
     ------------------
@@ -71,6 +98,7 @@ class ServiceConfig:
     queue: str = "binary"
     backend: str = "serial"
     workers: int = 4
+    result_cache_size: int = 128
     use_distance_table: bool = False
     transfer_selection: str = "contraction"
     transfer_fraction: float = 0.05
@@ -112,6 +140,11 @@ class ServiceConfig:
         if self.workers < 1:
             raise ValueError(
                 f"need at least one worker, got {self.workers}"
+            )
+        if self.result_cache_size < 0:
+            raise ValueError(
+                f"result_cache_size must be non-negative, "
+                f"got {self.result_cache_size}"
             )
         if not (0.0 <= self.transfer_fraction <= 1.0):
             raise ValueError(

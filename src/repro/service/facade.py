@@ -13,7 +13,12 @@ the paper through a typed request/response model:
   worker pool (the traffic-serving shape);
 * :meth:`TransitService.apply_delays` — the fully dynamic scenario
   (§5.1): a new service for the delayed timetable that re-derives only
-  travel-time-dependent artifacts and shares the rest.
+  travel-time-dependent artifacts and shares the rest;
+* :meth:`TransitService.save` / :meth:`TransitService.load` — persist
+  the prepared artifacts to a :mod:`repro.store` directory and
+  warm-start later processes from it without rebuilding anything;
+* answers are additionally memoized per service in an LRU result
+  cache (:mod:`repro.service.cache`, ``config.result_cache_size``).
 
 The facade delegates to the same engines the pre-facade entry points
 used (:func:`~repro.core.parallel.parallel_profile_search`,
@@ -26,6 +31,7 @@ artifacts — so answers are bitwise-identical to the historical paths
 from __future__ import annotations
 
 import time
+from pathlib import Path
 from typing import Sequence
 
 from repro.core.parallel import parallel_profile_search
@@ -35,7 +41,8 @@ from repro.query.table_query import (
     StationToStationEngine,
     StationToStationResult,
 )
-from repro.service.config import ServiceConfig
+from repro.service.cache import CacheStats, LRUResultCache
+from repro.service.config import RUNTIME_FIELDS, ServiceConfig
 from repro.service.journeys import reconstruct_legs
 from repro.service.model import (
     BatchRequest,
@@ -92,6 +99,11 @@ class TransitService:
             station_graph=prepared.station_graph,
         )
         self._batch_engine: BatchQueryEngine | None = None
+        # Per-service LRU over answers; requests are frozen dataclasses
+        # and the service is immutable, so entries never go stale.  A
+        # delayed service (apply_delays) is a new instance and thus
+        # starts cold — the invalidation the dynamic scenario needs.
+        self._result_cache = LRUResultCache(cfg.result_cache_size)
 
     @classmethod
     def from_graph(
@@ -103,6 +115,67 @@ class TransitService:
         config = config if config is not None else ServiceConfig()
         prepared = prepare_dataset(graph.timetable, config, graph=graph)
         return cls(graph.timetable, config, prepared=prepared)
+
+    # -- persistence (repro.store) -------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Serialize every prepared artifact to a store directory.
+
+        A later process warm-starts from it with :meth:`load`, paying
+        none of the build cost again (``docs/API.md``, "Persistence
+        and warm starts").  Returns the store path.
+        """
+        # Imported lazily: repro.store depends on the service layer's
+        # types, so a module-level import would be circular.
+        from repro.store import save_dataset
+
+        # The service's config, not prepared.config: runtime overrides
+        # applied after preparation must survive the round-trip.
+        return save_dataset(self.prepared, path, config=self.config)
+
+    @classmethod
+    def load(
+        cls, path: str | Path, *, config: ServiceConfig | None = None
+    ) -> "TransitService":
+        """Warm-start a service from a store written by :meth:`save`.
+
+        No builder runs — the graph is hydrated from the packed
+        buffers (memory-mapped read-only) and the distance table is
+        deserialized; answers are bitwise-identical to a cold prepare
+        under the stored config
+        (``tests/store/test_store_roundtrip.py``).  ``config``, when
+        given, asserts the store was prepared under that
+        configuration's *preparation recipe* (runtime-only fields may
+        differ — see :data:`~repro.service.config.RUNTIME_FIELDS`);
+        the stored config governs either way.  Raises
+        :class:`repro.store.StoreError` on a missing/corrupt store, a
+        format-version bump, or a recipe mismatch.
+        """
+        from repro.store import load_dataset
+
+        prepared = load_dataset(path, expected_config=config)
+        return cls(prepared.timetable, prepared.config, prepared=prepared)
+
+    def with_runtime_overrides(self, **changes) -> "TransitService":
+        """A sibling service over the *same* prepared artifacts with
+        runtime-only config changes (:data:`RUNTIME_FIELDS`: thread
+        count, pool backend/workers, pruning toggles, cache size, …).
+
+        Nothing is rebuilt — the new service shares this one's
+        :class:`PreparedDataset` — so fields that shape preparation
+        (``kernel``, the distance-table knobs) are rejected with
+        ``ValueError``: those need a fresh prepare, not an override.
+        """
+        illegal = set(changes) - RUNTIME_FIELDS
+        if illegal:
+            raise ValueError(
+                f"not runtime-overridable: {sorted(illegal)} "
+                f"(allowed: {sorted(RUNTIME_FIELDS)})"
+            )
+        config = self.config.with_overrides(**changes)
+        return TransitService(
+            self.timetable, config, prepared=self.prepared
+        )
 
     # -- convenient read-only views ------------------------------------
 
@@ -123,6 +196,11 @@ class TransitService:
         """Timing/size accounting of the prepare-once pipeline."""
         return self.prepared.stats
 
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss accounting of the per-service result cache."""
+        return self._result_cache.stats
+
     # -- one-to-all profiles -------------------------------------------
 
     def profile(
@@ -132,6 +210,9 @@ class TransitService:
         req = (
             ProfileRequest(request) if isinstance(request, int) else request
         )
+        cached = self._result_cache.get(req)
+        if cached is not None:
+            return cached
         cfg = self.config
         prepared = self.prepared
         num_threads = (
@@ -158,7 +239,9 @@ class TransitService:
             simulated_seconds=raw.stats.simulated_time,
             total_seconds=total,
         )
-        return ProfileResult(source=req.source, stats=stats, raw=raw)
+        result = ProfileResult(source=req.source, stats=stats, raw=raw)
+        self._result_cache.put(req, result)
+        return result
 
     # -- station-to-station journeys -----------------------------------
 
@@ -176,8 +259,13 @@ class TransitService:
             if target is None:
                 raise TypeError("journey(source, target) needs a target")
             req = JourneyRequest(request, target, departure)
+        cached = self._result_cache.get(req)
+        if cached is not None:
+            return cached
         res = self._engine.query(req.source, req.target)
-        return self._wrap_journey(req, res)
+        result = self._wrap_journey(req, res)
+        self._result_cache.put(req, result)
+        return result
 
     # -- batched workloads ---------------------------------------------
 
@@ -188,6 +276,9 @@ class TransitService:
         pairs) on the configured pool backend."""
         if not isinstance(request, BatchRequest):
             request = BatchRequest.from_pairs(request)
+        cached = self._result_cache.get(request)
+        if cached is not None:
+            return cached
         engine = self._batch()
         journeys: list[JourneyResult] = []
         profiles: list[ProfileResult] = []
@@ -223,11 +314,13 @@ class TransitService:
                     ProfileResult(source=req.source, stats=stats, raw=res)
                 )
             parts.append(raw.stats)
-        return BatchResponse(
+        response = BatchResponse(
             journeys=journeys,
             profiles=profiles,
             stats=self._merge_batch_stats(parts),
         )
+        self._result_cache.put(request, response)
+        return response
 
     # -- delay replanning ----------------------------------------------
 
@@ -245,6 +338,12 @@ class TransitService:
         selection are *shared* with this service — answers are still
         exactly those of a cold service built from the delayed
         timetable (``tests/service/test_delay_replanning.py``).
+
+        The returned service starts with an **empty result cache**:
+        answers cached before the delays can never be served for the
+        delayed timetable (``tests/service/test_result_cache.py``).
+        This service and its cache stay valid for the original
+        timetable.
         """
         delayed = _delay_timetable(
             self.timetable, list(delays), slack_per_leg=slack_per_leg

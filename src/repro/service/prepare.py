@@ -41,6 +41,9 @@ class PrepareStats:
     when the distance table is off.  ``shared_station_graph`` records
     whether the station graph (and transfer selection) were inherited
     from a prior service instead of rebuilt (delay replanning).
+    ``loaded_from_store`` marks a warm start from the artifact store
+    (:mod:`repro.store`): nothing was built — ``graph_seconds`` is then
+    the object-graph *hydration* time and every other stage is zero.
     """
 
     graph_seconds: float
@@ -57,6 +60,7 @@ class PrepareStats:
     num_transfer_stations: int
     table_mib: float
     shared_station_graph: bool = False
+    loaded_from_store: bool = False
 
 
 @dataclass

@@ -1,0 +1,117 @@
+"""Compact binary record codec for the artifact store.
+
+One ``.bin`` file is a sequence of named sections behind a magic/version
+header.  Two section kinds cover everything the store needs outside the
+numpy buffers: int64 arrays (timetable numbers, station-graph CSR) and
+utf-8 string lists (station/train names).  The format is deliberately
+dumb — no compression, no alignment games, little-endian throughout —
+so a record can be read with nothing but ``struct`` and ``numpy`` and
+survives byte-for-byte comparison across platforms.
+
+Layout::
+
+    magic   8 bytes  b"RPROBIN\\x01"
+    u32     section count
+    per section:
+        u16 + utf-8   section name
+        u8            kind (0 = int64 array, 1 = string list)
+        kind 0:       u64 element count, then count * 8 bytes (<i8)
+        kind 1:       u64 item count, count * u32 byte lengths, then
+                      the concatenated utf-8 payloads (one blob, so a
+                      100k-name list reads as two bulk slices instead
+                      of 100k tiny ones)
+
+:func:`write_record` / :func:`read_record` map a ``dict[str, value]``
+(values: 1-D int64 ``np.ndarray`` or ``list[str]``) to and from disk.
+Corrupt or truncated input raises :class:`CodecError`.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+MAGIC = b"RPROBIN\x01"
+
+_KIND_INT64 = 0
+_KIND_STRINGS = 1
+
+
+class CodecError(ValueError):
+    """Raised for malformed binary records (bad magic, truncation,
+    unknown section kinds)."""
+
+
+def write_record(path: str | Path, sections: dict) -> None:
+    """Write named sections to ``path`` (see module doc for the layout).
+
+    ``sections`` values must be 1-D integer arrays (anything
+    ``np.asarray`` can coerce to int64) or lists of strings.
+    """
+    chunks: list[bytes] = [MAGIC, struct.pack("<I", len(sections))]
+    for name, value in sections.items():
+        encoded_name = name.encode("utf-8")
+        chunks.append(struct.pack("<H", len(encoded_name)))
+        chunks.append(encoded_name)
+        if isinstance(value, list) and all(isinstance(v, str) for v in value):
+            encoded = [item.encode("utf-8") for item in value]
+            chunks.append(struct.pack("<BQ", _KIND_STRINGS, len(encoded)))
+            chunks.append(
+                np.asarray([len(e) for e in encoded], dtype="<u4").tobytes()
+            )
+            chunks.append(b"".join(encoded))
+        else:
+            array = np.ascontiguousarray(value, dtype="<i8")
+            if array.ndim != 1:
+                raise CodecError(
+                    f"section {name!r} must be 1-D, got shape {array.shape}"
+                )
+            chunks.append(struct.pack("<BQ", _KIND_INT64, array.size))
+            chunks.append(array.tobytes())
+    Path(path).write_bytes(b"".join(chunks))
+
+
+def read_record(path: str | Path) -> dict:
+    """Read back a record written by :func:`write_record`."""
+    data = Path(path).read_bytes()
+    if data[: len(MAGIC)] != MAGIC:
+        raise CodecError(f"{path}: bad magic (not a repro store record)")
+    offset = len(MAGIC)
+
+    def take(count: int) -> bytes:
+        nonlocal offset
+        if offset + count > len(data):
+            raise CodecError(f"{path}: truncated record")
+        piece = data[offset : offset + count]
+        offset += count
+        return piece
+
+    (num_sections,) = struct.unpack("<I", take(4))
+    sections: dict = {}
+    for _ in range(num_sections):
+        (name_len,) = struct.unpack("<H", take(2))
+        name = take(name_len).decode("utf-8")
+        (kind,) = struct.unpack("<B", take(1))
+        if kind == _KIND_INT64:
+            (count,) = struct.unpack("<Q", take(8))
+            raw = take(count * 8)
+            sections[name] = np.frombuffer(raw, dtype="<i8").astype(
+                np.int64, copy=True
+            )
+        elif kind == _KIND_STRINGS:
+            (count,) = struct.unpack("<Q", take(8))
+            lengths = np.frombuffer(take(count * 4), dtype="<u4")
+            blob = take(int(lengths.sum()))
+            items: list[str] = []
+            pos = 0
+            for item_len in lengths.tolist():
+                items.append(blob[pos : pos + item_len].decode("utf-8"))
+                pos += item_len
+            sections[name] = items
+        else:
+            raise CodecError(f"{path}: unknown section kind {kind}")
+    if offset != len(data):
+        raise CodecError(f"{path}: {len(data) - offset} trailing bytes")
+    return sections

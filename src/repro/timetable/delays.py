@@ -55,17 +55,32 @@ def apply_delays(
     """Return a new timetable with the given primary delays applied.
 
     ``slack_per_leg`` minutes of the remaining delay are recovered on
-    every leg after the delayed stop (never below zero).  The input
-    timetable is not modified.  Connections keep their travel order;
+    every leg after the delayed stop (never below zero).  Every delay
+    is validated against its train's run: ``from_stop`` must name one
+    of the train's actual departures (a delay at or past the last leg
+    would silently change nothing).  The input timetable is not
+    modified.  Connections keep their travel order;
     departures are re-normalized into ``Π`` by the Connection layer's
     wrap-aware semantics (a heavily delayed night train simply wraps
     into the next period, as in reality).
     """
     if slack_per_leg < 0:
         raise ValueError(f"slack must be non-negative, got {slack_per_leg}")
+    run_length: dict[int, int] = {}
+    for c in timetable.connections:
+        run_length[c.train] = run_length.get(c.train, 0) + 1
     for delay in delays:
         if not (0 <= delay.train < timetable.num_trains):
             raise ValueError(f"unknown train {delay.train}")
+        # A train with k legs departs at stops 0..k-1; a from_stop at or
+        # past the last departure would silently delay nothing.
+        legs = run_length.get(delay.train, 0)
+        if delay.from_stop >= legs:
+            where = f"stops 0..{legs - 1}" if legs else "no connections"
+            raise ValueError(
+                f"from_stop {delay.from_stop} out of range for train "
+                f"{delay.train} ({where})"
+            )
 
     pending: dict[int, list[Delay]] = {}
     for delay in delays:

@@ -56,25 +56,33 @@ def delta(tau1: int, tau2: int, period: int = DAY_MINUTES) -> int:
 
 
 def parse_time(text: str, period: int = DAY_MINUTES) -> int:
-    """Parse ``"HH:MM"`` (or ``"HH:MM:SS"``, seconds ignored) to minutes.
+    """Parse ``"HH:MM"`` (or ``"HH:MM:SS"``, seconds discarded) to minutes.
 
     Hours ≥ 24 are allowed, matching GTFS conventions for after-midnight
-    trips; the returned value is *not* normalized.
+    trips; the returned value is *not* normalized.  The seconds field,
+    when present, is validated (numeric, in ``[0, 60)``) even though it
+    does not contribute to the minute resolution — a malformed field
+    means corrupt input, not sub-minute precision to drop.
 
     >>> parse_time("08:30")
     510
     >>> parse_time("25:15")
     1515
+    >>> parse_time("08:30:45")
+    510
     """
     parts = text.strip().split(":")
     if len(parts) not in (2, 3):
         raise ValueError(f"cannot parse time {text!r}; expected HH:MM[:SS]")
     try:
         hours, minutes = int(parts[0]), int(parts[1])
+        seconds = int(parts[2]) if len(parts) == 3 else 0
     except ValueError as exc:
         raise ValueError(f"cannot parse time {text!r}: {exc}") from None
     if not 0 <= minutes < 60:
         raise ValueError(f"minutes out of range in {text!r}")
+    if not 0 <= seconds < 60:
+        raise ValueError(f"seconds out of range in {text!r}")
     if hours < 0:
         raise ValueError(f"negative hours in {text!r}")
     return hours * 60 + minutes

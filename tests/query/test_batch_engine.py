@@ -273,3 +273,39 @@ def test_batch_engine_reuses_injected_pack(oahu_tiny_graph, monkeypatch):
         assert engine._engine.station_graph is station_graph
         profiles = engine.profile_many([0])
         assert len(profiles) == 1
+
+
+def test_two_engines_fork_concurrently_without_clobbering(
+    oahu_tiny_graph, table
+):
+    """Regression: fork-worker state used to live under one shared
+    module-global key, so two engines fanning out at the same time
+    clobbered each other's engine reference (one batch silently ran on
+    the other's distance table).  State is now keyed per fan-out and
+    each work item carries its own token."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    engine_plain = BatchQueryEngine(
+        oahu_tiny_graph, None, kernel="flat", backend="processes", workers=2
+    )
+    engine_table = BatchQueryEngine(
+        oahu_tiny_graph, table, kernel="flat", backend="processes", workers=2
+    )
+    pairs = random_station_pairs(oahu_tiny_graph.timetable, 6, seed=21)
+
+    reference_plain = [
+        engine_plain._engine.query(s, t) for s, t in pairs
+    ]
+    reference_table = [
+        engine_table._engine.query(s, t) for s, t in pairs
+    ]
+
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        fut_plain = pool.submit(engine_plain.query_many, pairs)
+        fut_table = pool.submit(engine_table.query_many, pairs)
+        got_plain, got_table = fut_plain.result(), fut_table.result()
+
+    for (s, t), exp, got in zip(pairs, reference_plain, got_plain):
+        assert_bitwise_equal(exp, got, f"plain engine {s}->{t}")
+    for (s, t), exp, got in zip(pairs, reference_table, got_table):
+        assert_bitwise_equal(exp, got, f"table engine {s}->{t}")

@@ -37,7 +37,20 @@ def _instances():
     ]
 
 
-DELAYS = [Delay(train=0, minutes=25), Delay(train=2, minutes=40, from_stop=1)]
+def _delays_for(timetable):
+    """Delays valid for any instance: ``from_stop`` must name an actual
+    departure of its train (apply_delays validates this), so pick the
+    mid-run victim among trains with at least two legs."""
+    legs_per_train: dict[int, int] = {}
+    for c in timetable.connections:
+        legs_per_train[c.train] = legs_per_train.get(c.train, 0) + 1
+    mid_run_victim = next(
+        t for t in sorted(legs_per_train) if t > 0 and legs_per_train[t] >= 2
+    )
+    return [
+        Delay(train=0, minutes=25),
+        Delay(train=mid_run_victim, minutes=40, from_stop=1),
+    ]
 
 
 @pytest.mark.parametrize(
@@ -51,9 +64,10 @@ def test_apply_delays_matches_cold_service(name, timetable, with_table):
         use_distance_table=with_table,
         transfer_fraction=0.3,
     )
-    warm = TransitService(timetable, config).apply_delays(DELAYS)
+    delays = _delays_for(timetable)
+    warm = TransitService(timetable, config).apply_delays(delays)
     cold = TransitService(
-        apply_delays(timetable, DELAYS), config
+        apply_delays(timetable, delays), config
     )
 
     # Replanning must not silently change the dataset identity.
@@ -108,8 +122,9 @@ def test_apply_delays_shares_topology_artifacts():
 def test_apply_delays_batch_parity():
     timetable = random_line_timetable(7, num_stations=9, num_lines=5)
     config = ServiceConfig(kernel="flat", num_threads=2)
-    warm = TransitService(timetable, config).apply_delays(DELAYS)
-    cold = TransitService(apply_delays(timetable, DELAYS), config)
+    delays = _delays_for(timetable)
+    warm = TransitService(timetable, config).apply_delays(delays)
+    cold = TransitService(apply_delays(timetable, delays), config)
     pairs = random_station_pairs(timetable, 5, seed=1)
     warm_batch = warm.batch(BatchRequest.from_pairs(pairs))
     cold_batch = cold.batch(BatchRequest.from_pairs(pairs))

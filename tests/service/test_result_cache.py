@@ -1,0 +1,162 @@
+"""Per-service LRU result cache: hits are the same answers, eviction
+is bounded, and delay replanning starts cold (the invalidation the
+dynamic scenario needs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    BatchRequest,
+    JourneyRequest,
+    ProfileRequest,
+    ServiceConfig,
+    TransitService,
+)
+from repro.service.cache import LRUResultCache
+from repro.timetable.delays import Delay, apply_delays
+
+
+class TestLRUResultCache:
+    def test_get_put_and_stats(self):
+        cache = LRUResultCache(2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = LRUResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a; b is now oldest
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_zero_size_disables(self):
+        cache = LRUResultCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            LRUResultCache(-1)
+
+    def test_clear(self):
+        cache = LRUResultCache(4)
+        cache.put("a", 1)
+        cache.clear()
+        assert cache.get("a") is None
+
+
+class TestServiceResultCache:
+    def test_repeated_requests_hit_every_shape(self, oahu_tiny):
+        service = TransitService(oahu_tiny, ServiceConfig(num_threads=2))
+        assert service.cache_stats.maxsize == 128
+
+        p1, p2 = service.profile(0), service.profile(0)
+        assert p2 is p1
+        j1 = service.journey(0, 5)
+        j2 = service.journey(JourneyRequest(0, 5))
+        assert j2 is j1
+        b1 = service.batch([(0, 5), (1, 6)])
+        b2 = service.batch(BatchRequest.from_pairs([(0, 5), (1, 6)]))
+        assert b2 is b1
+
+        stats = service.cache_stats
+        assert stats.hits == 3
+        assert stats.misses == 3
+
+    def test_distinct_requests_miss(self, oahu_tiny):
+        service = TransitService(oahu_tiny, ServiceConfig(num_threads=2))
+        service.journey(0, 5)
+        service.journey(0, 6)
+        service.journey(0, 5, departure=480)  # departure is part of the key
+        assert service.cache_stats.hits == 0
+        assert service.cache_stats.misses == 3
+
+    def test_profile_thread_override_is_part_of_the_key(self, oahu_tiny):
+        service = TransitService(oahu_tiny, ServiceConfig(num_threads=1))
+        a = service.profile(ProfileRequest(0, num_threads=1))
+        b = service.profile(ProfileRequest(0, num_threads=3))
+        assert b is not a
+        assert b.stats.num_threads == 3
+
+    def test_cache_size_zero_disables(self, oahu_tiny):
+        service = TransitService(
+            oahu_tiny, ServiceConfig(result_cache_size=0)
+        )
+        assert service.journey(0, 5) is not service.journey(0, 5)
+        assert service.cache_stats.size == 0
+
+    def test_eviction_respects_configured_size(self, oahu_tiny):
+        service = TransitService(
+            oahu_tiny, ServiceConfig(result_cache_size=2)
+        )
+        first = service.journey(0, 5)
+        service.journey(0, 6)
+        service.journey(0, 7)  # evicts (0, 5)
+        again = service.journey(0, 5)
+        assert again is not first
+        assert service.cache_stats.size == 2
+
+    def test_apply_delays_invalidates(self, oahu_tiny):
+        """Answers cached on the original service never leak into the
+        delayed one; the delayed answer matches a cold service on the
+        delayed timetable."""
+        service = TransitService(oahu_tiny, ServiceConfig(num_threads=2))
+        delays = [Delay(train=0, minutes=45)]
+        # Warm the original cache on a pair the delay affects.
+        pairs = [(s, t) for s in range(4) for t in range(4, 8)]
+        for s, t in pairs:
+            service.journey(s, t)
+        delayed = service.apply_delays(delays)
+        assert delayed.cache_stats.size == 0
+
+        cold = TransitService(
+            apply_delays(oahu_tiny, delays), ServiceConfig(num_threads=2)
+        )
+        changed = 0
+        for s, t in pairs:
+            original = service.journey(s, t).profile
+            got = delayed.journey(s, t).profile
+            expected = cold.journey(s, t).profile
+            assert np.array_equal(got.deps, expected.deps), (s, t)
+            assert np.array_equal(got.arrs, expected.arrs), (s, t)
+            if not (
+                np.array_equal(got.deps, original.deps)
+                and np.array_equal(got.arrs, original.arrs)
+            ):
+                changed += 1
+        assert changed > 0, "delay workload did not change any answer"
+        # The original service still serves its own (cached) answers.
+        assert service.cache_stats.hits >= len(pairs)
+
+    def test_cached_results_equal_fresh_computation(self, oahu_tiny):
+        cached_service = TransitService(oahu_tiny, ServiceConfig())
+        uncached_service = TransitService(
+            oahu_tiny, ServiceConfig(result_cache_size=0)
+        )
+        for _ in range(2):
+            got = cached_service.journey(2, 7)
+            fresh = uncached_service.journey(2, 7)
+            assert np.array_equal(got.profile.deps, fresh.profile.deps)
+            assert np.array_equal(got.profile.arrs, fresh.profile.arrs)
+
+    def test_runtime_overrides_share_prepared_but_not_cache(self, oahu_tiny):
+        service = TransitService(oahu_tiny, ServiceConfig(num_threads=2))
+        service.journey(0, 5)
+        sibling = service.with_runtime_overrides(workers=2, backend="threads")
+        assert sibling.prepared is service.prepared
+        assert sibling.config.workers == 2
+        assert sibling.cache_stats.size == 0
+        with pytest.raises(ValueError, match="not runtime-overridable"):
+            service.with_runtime_overrides(kernel="python")
+        with pytest.raises(ValueError, match="not runtime-overridable"):
+            service.with_runtime_overrides(use_distance_table=True)

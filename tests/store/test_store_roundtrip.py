@@ -1,0 +1,436 @@
+"""Artifact-store guarantees: save→load answers bitwise-identically to
+an in-memory prepare, loads never build, and incompatible stores are
+rejected loudly.
+
+Three contracts:
+
+1. **Round-trip equivalence** — for both kernels, with and without a
+   distance table, on multiple seeded instances: a service loaded from
+   a store answers all three query shapes (profile / journey / batch)
+   bitwise-identically to the service that was saved.
+2. **Warm means warm** — loading and querying runs *no* builder
+   (graph build, packing, station graph, transfer selection, table
+   build), asserted by monkeypatching every builder to raise.
+3. **Versioning** — format-version and config-hash mismatches raise
+   :class:`StoreError` instead of producing wrong answers, as do
+   truncated or tampered files.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.service.prepare as prepare_mod
+from repro.service import (
+    BatchRequest,
+    JourneyRequest,
+    ProfileRequest,
+    ServiceConfig,
+    TransitService,
+)
+from repro.store import (
+    FORMAT_VERSION,
+    CodecError,
+    StoreError,
+    config_hash,
+    describe_store,
+    load_dataset,
+    read_record,
+    save_dataset,
+    write_record,
+)
+from repro.synthetic.workloads import random_station_pairs
+
+from tests.helpers import random_line_timetable
+
+KERNELS = ("python", "flat")
+
+
+def assert_profiles_bitwise_equal(expected, got, context=""):
+    assert got.period == expected.period, context
+    assert np.array_equal(got.deps, expected.deps), context
+    assert np.array_equal(got.arrs, expected.arrs), context
+
+
+def _assert_same_answers(cold: TransitService, warm: TransitService, seed=13):
+    """All three query shapes agree bitwise between two services."""
+    timetable = cold.timetable
+    pairs = random_station_pairs(timetable, 6, seed=seed) + [(0, 0)]
+    for s, t in pairs:
+        a, b = cold.journey(s, t), warm.journey(s, t)
+        assert b.stats.classification == a.stats.classification, (s, t)
+        assert_profiles_bitwise_equal(a.profile, b.profile, f"journey {s}->{t}")
+    for source in sorted({s for s, _ in pairs})[:3]:
+        a, b = cold.profile(source), warm.profile(source)
+        assert (
+            b.stats.settled_connections == a.stats.settled_connections
+        ), source
+        for target in range(timetable.num_stations):
+            assert_profiles_bitwise_equal(
+                a.profile(target), b.profile(target), f"profile {source}->{target}"
+            )
+    batch_request = BatchRequest(
+        journeys=tuple(JourneyRequest(s, t) for s, t in pairs[:4]),
+        profiles=(ProfileRequest(pairs[0][0]),),
+    )
+    a, b = cold.batch(batch_request), warm.batch(batch_request)
+    for exp, got in zip(a.journeys, b.journeys):
+        assert_profiles_bitwise_equal(exp.profile, got.profile, "batch journey")
+    for exp, got in zip(a.profiles, b.profiles):
+        assert np.array_equal(got.raw.merged.labels, exp.raw.merged.labels)
+
+
+# ---------------------------------------------------------------------------
+# Round-trip equivalence
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("with_table", (False, True), ids=["plain", "table"])
+def test_roundtrip_bitwise_identical(tmp_path, oahu_tiny, kernel, with_table):
+    config = ServiceConfig(
+        kernel=kernel,
+        num_threads=2,
+        use_distance_table=with_table,
+        transfer_fraction=0.3,
+    )
+    cold = TransitService(oahu_tiny, config)
+    cold.save(tmp_path / "store")
+    warm = TransitService.load(tmp_path / "store")
+    assert warm.prepare_stats.loaded_from_store
+    assert warm.config == config
+    assert (warm.table is None) == (cold.table is None)
+    _assert_same_answers(cold, warm)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_roundtrip_on_rail_and_random_instances(tmp_path, germany_tiny, kernel):
+    for name, timetable in (
+        ("germany", germany_tiny),
+        ("random", random_line_timetable(77, num_stations=8, num_lines=5)),
+    ):
+        config = ServiceConfig(kernel=kernel, num_threads=2)
+        cold = TransitService(timetable, config)
+        cold.save(tmp_path / name)
+        warm = TransitService.load(tmp_path / name)
+        _assert_same_answers(cold, warm, seed=5)
+
+
+def test_roundtrip_preserves_timetable_exactly(tmp_path, oahu_tiny):
+    service = TransitService(oahu_tiny, ServiceConfig())
+    service.save(tmp_path / "store")
+    loaded = TransitService.load(tmp_path / "store").timetable
+    assert loaded.name == oahu_tiny.name
+    assert loaded.period == oahu_tiny.period
+    assert loaded.stations == oahu_tiny.stations
+    assert loaded.trains == oahu_tiny.trains
+    assert loaded.connections == oahu_tiny.connections
+
+
+def test_loaded_service_supports_delay_replanning(tmp_path, oahu_tiny):
+    """apply_delays on a warm-started service matches a cold service on
+    the delayed timetable (the store carries everything replanning
+    shares: station graph and transfer selection)."""
+    from repro.timetable.delays import Delay, apply_delays
+
+    config = ServiceConfig(
+        kernel="flat", use_distance_table=True, transfer_fraction=0.3
+    )
+    TransitService(oahu_tiny, config).save(tmp_path / "store")
+    warm = TransitService.load(tmp_path / "store")
+    delays = [Delay(train=1, minutes=20)]
+    replanned = warm.apply_delays(delays)
+    assert replanned.prepare_stats.shared_station_graph
+    reference = TransitService(apply_delays(oahu_tiny, delays), config)
+    for s, t in random_station_pairs(oahu_tiny, 4, seed=3):
+        assert_profiles_bitwise_equal(
+            reference.journey(s, t).profile,
+            replanned.journey(s, t).profile,
+            f"delayed {s}->{t}",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Warm means warm: no builder runs on load or on loaded-service queries
+# ---------------------------------------------------------------------------
+
+
+def test_load_and_query_run_no_builder(tmp_path, oahu_tiny, monkeypatch):
+    config = ServiceConfig(
+        kernel="flat",
+        num_threads=2,
+        use_distance_table=True,
+        transfer_fraction=0.3,
+    )
+    TransitService(oahu_tiny, config).save(tmp_path / "store")
+
+    def forbidden(name):
+        def _raise(*args, **kwargs):  # pragma: no cover - exercised on failure
+            raise AssertionError(f"warm start must not call {name}")
+
+        return _raise
+
+    # Every builder the prepare pipeline (or an engine fallback) could
+    # reach: if the load path or a loaded-service query touches one,
+    # the store is not a warm start.
+    for target in (
+        "repro.service.prepare.build_td_graph",
+        "repro.service.prepare.build_station_graph",
+        "repro.service.prepare.build_distance_table",
+        "repro.service.prepare.select_transfer_stations",
+        "repro.service.prepare.packed_arrays",
+        "repro.graph.td_arrays.pack_td_graph",
+        "repro.store.store.pack_td_graph",
+        "repro.query.table_query.build_station_graph",
+        "repro.query.table_query.packed_arrays",
+        "repro.core.parallel.packed_arrays",
+    ):
+        monkeypatch.setattr(target, forbidden(target))
+
+    warm = TransitService.load(tmp_path / "store")
+    assert warm.prepare_stats.loaded_from_store
+    assert warm.prepare_stats.station_graph_seconds == 0.0
+    assert warm.prepare_stats.pack_seconds == 0.0
+    assert warm.prepare_stats.table_seconds == 0.0
+    # All three query shapes work on the warm service.
+    warm.profile(0)
+    warm.journey(0, 5)
+    warm.journey(2, 7, departure=8 * 60)
+    warm.batch([(0, 5), (1, 6)])
+    warm.batch(BatchRequest.from_sources([0, 3]))
+
+
+def test_python_kernel_load_keeps_arrays_off(tmp_path, oahu_tiny):
+    """A python-kernel store hydrates the object graph from the packed
+    buffers but the loaded dataset exposes arrays=None, exactly like a
+    cold python-kernel prepare."""
+    TransitService(oahu_tiny, ServiceConfig(kernel="python")).save(
+        tmp_path / "store"
+    )
+    warm = TransitService.load(tmp_path / "store")
+    assert warm.prepared.arrays is None
+    assert warm.prepare_stats.packed_bytes == 0
+    warm.journey(0, 5)
+
+
+# ---------------------------------------------------------------------------
+# Versioning and rejection
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def small_store(tmp_path, oahu_tiny):
+    path = tmp_path / "store"
+    TransitService(oahu_tiny, ServiceConfig(num_threads=2)).save(path)
+    return path
+
+
+def test_format_version_mismatch_rejected(small_store):
+    manifest_path = small_store / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["format_version"] = FORMAT_VERSION + 1
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(StoreError, match="format version"):
+        TransitService.load(small_store)
+
+
+def test_config_hash_mismatch_rejected(small_store):
+    """Editing the manifest's config without its hash is tampering."""
+    manifest_path = small_store / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["config"]["num_threads"] = 8
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(StoreError, match="hash mismatch"):
+        TransitService.load(small_store)
+
+
+def test_expected_config_mismatch_rejected(small_store):
+    # A different preparation recipe (table on) is a mismatch ...
+    with pytest.raises(StoreError, match="different config"):
+        TransitService.load(
+            small_store,
+            config=ServiceConfig(
+                use_distance_table=True, transfer_fraction=0.3
+            ),
+        )
+    with pytest.raises(StoreError, match="different config"):
+        TransitService.load(small_store, config=ServiceConfig(kernel="python"))
+    # ... the stored config is accepted, as is one differing only in
+    # runtime fields (same artifacts fit both).
+    TransitService.load(small_store, config=ServiceConfig(num_threads=2))
+    TransitService.load(
+        small_store, config=ServiceConfig(num_threads=7, backend="threads")
+    )
+
+
+def test_missing_store_rejected(tmp_path):
+    with pytest.raises(StoreError, match="manifest"):
+        TransitService.load(tmp_path / "nowhere")
+
+
+def test_invalid_manifest_config_rejected(small_store):
+    manifest_path = small_store / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["config"]["kernel"] = "gpu"
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(StoreError, match="invalid"):
+        TransitService.load(small_store)
+
+
+def test_truncated_dataset_rejected(small_store):
+    dataset = small_store / "dataset.bin"
+    dataset.write_bytes(dataset.read_bytes()[:-40])
+    with pytest.raises(StoreError, match="truncated"):
+        TransitService.load(small_store)
+
+
+def test_missing_buffer_rejected(small_store):
+    (small_store / "arrays" / "edge_target.npy").unlink()
+    with pytest.raises(StoreError, match="edge_target"):
+        TransitService.load(small_store)
+
+
+def test_config_hash_is_field_sensitive():
+    base = ServiceConfig()
+    assert config_hash(base) == config_hash(ServiceConfig(num_threads=1))
+    assert config_hash(base) != config_hash(ServiceConfig(num_threads=2))
+
+
+def test_prepare_config_hash_ignores_runtime_fields():
+    from repro.store import prepare_config_hash
+
+    base = ServiceConfig()
+    runtime_twin = ServiceConfig(
+        num_threads=8, backend="threads", workers=2, result_cache_size=0
+    )
+    assert prepare_config_hash(base) == prepare_config_hash(runtime_twin)
+    assert prepare_config_hash(base) != prepare_config_hash(
+        ServiceConfig(use_distance_table=True)
+    )
+    assert prepare_config_hash(base) != prepare_config_hash(
+        ServiceConfig(kernel="python")
+    )
+
+
+def test_describe_store_reports_sizes(small_store):
+    info = describe_store(small_store)
+    assert info["format_version"] == FORMAT_VERSION
+    assert info["counts"]["stations"] > 0
+    assert info["total_bytes"] > 0
+    assert info["sizes_bytes"]["arrays"] > 0
+
+
+def test_save_then_save_without_table_drops_stale_table(
+    tmp_path, oahu_tiny
+):
+    path = tmp_path / "store"
+    with_table = ServiceConfig(
+        use_distance_table=True, transfer_fraction=0.3
+    )
+    TransitService(oahu_tiny, with_table).save(path)
+    assert (path / "table.npz").exists()
+    TransitService(oahu_tiny, ServiceConfig()).save(path)
+    assert not (path / "table.npz").exists()
+    assert TransitService.load(path).table is None
+
+
+def test_truncated_buffer_rejected(small_store):
+    """A corrupt .npy surfaces as StoreError, not a raw numpy error
+    (the module's error contract)."""
+    buffer = small_store / "arrays" / "edge_weight.npy"
+    buffer.write_bytes(buffer.read_bytes()[:-64])
+    with pytest.raises(StoreError, match="corrupt buffer"):
+        TransitService.load(small_store)
+
+
+def test_describe_incomplete_store_rejected(small_store):
+    (small_store / "dataset.bin").unlink()
+    with pytest.raises(StoreError, match="incomplete"):
+        describe_store(small_store)
+
+
+def test_runtime_overridden_service_saves_its_own_config(
+    tmp_path, oahu_tiny
+):
+    """save() records the service's current config, so a service built
+    via with_runtime_overrides round-trips against itself — and since
+    runtime overrides never change the preparation recipe, the
+    pre-override config matches too."""
+    base = TransitService(oahu_tiny, ServiceConfig(num_threads=2))
+    tuned = base.with_runtime_overrides(num_threads=8, backend="threads")
+    tuned.save(tmp_path / "store")
+    warm = TransitService.load(tmp_path / "store", config=tuned.config)
+    assert warm.config.num_threads == 8
+    assert warm.config.backend == "threads"
+    TransitService.load(tmp_path / "store", config=base.config)
+
+
+def test_crashed_resave_never_masquerades_as_complete(
+    small_store, oahu_tiny, monkeypatch
+):
+    """A save crashing over an existing store must leave a directory
+    that refuses to load (old manifest removed first, new one written
+    last) — not a mixed-generation store serving stale artifacts."""
+    import repro.store.store as store_mod
+
+    def crash(*args, **kwargs):
+        raise RuntimeError("disk full")
+
+    monkeypatch.setattr(store_mod, "write_record", crash)
+    with pytest.raises(RuntimeError, match="disk full"):
+        TransitService(oahu_tiny, ServiceConfig()).save(small_store)
+    monkeypatch.undo()
+    with pytest.raises(StoreError, match="manifest"):
+        TransitService.load(small_store)
+
+
+# ---------------------------------------------------------------------------
+# Binary codec
+# ---------------------------------------------------------------------------
+
+
+class TestCodec:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "record.bin"
+        sections = {
+            "numbers": np.arange(10, dtype=np.int64) * -3,
+            "empty": np.zeros(0, dtype=np.int64),
+            "names": ["alpha", "", "ünïcode ✓", "d"],
+            "no_names": [],
+        }
+        write_record(path, sections)
+        loaded = read_record(path)
+        assert set(loaded) == set(sections)
+        assert np.array_equal(loaded["numbers"], sections["numbers"])
+        assert loaded["empty"].size == 0
+        assert loaded["names"] == sections["names"]
+        assert loaded["no_names"] == []
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOTASTORE")
+        with pytest.raises(CodecError, match="magic"):
+            read_record(path)
+
+    def test_truncation_rejected(self, tmp_path):
+        path = tmp_path / "record.bin"
+        write_record(path, {"xs": np.arange(100, dtype=np.int64)})
+        path.write_bytes(path.read_bytes()[:-8])
+        with pytest.raises(CodecError, match="truncated"):
+            read_record(path)
+
+    def test_trailing_bytes_rejected(self, tmp_path):
+        path = tmp_path / "record.bin"
+        write_record(path, {"xs": np.arange(4, dtype=np.int64)})
+        path.write_bytes(path.read_bytes() + b"junk")
+        with pytest.raises(CodecError, match="trailing"):
+            read_record(path)
+
+    def test_non_1d_rejected(self, tmp_path):
+        with pytest.raises(CodecError, match="1-D"):
+            write_record(
+                tmp_path / "x.bin", {"m": np.zeros((2, 2), dtype=np.int64)}
+            )

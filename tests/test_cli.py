@@ -159,3 +159,131 @@ class TestBatchJson:
             [l for l in out.splitlines() if "→" in l] for out in outputs
         ]
         assert pairs[0] != pairs[1]
+
+
+class TestStoreCommands:
+    @pytest.fixture()
+    def store(self, tmp_path, capsys):
+        path = tmp_path / "store"
+        assert main([
+            "prepare", "--instance", "oahu", "--scale", "tiny",
+            "--store", str(path), "--transfer-fraction", "0.3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "store written to" in out
+        assert "--from-store" in out
+        return path
+
+    def test_prepare_writes_a_loadable_store(self, store):
+        assert (store / "manifest.json").exists()
+        assert (store / "dataset.bin").exists()
+        assert (store / "table.npz").exists()
+
+    def test_query_from_store_matches_fresh_prepare(self, store, capsys):
+        assert main([
+            "query", "--from-store", str(store),
+            "--source", "0", "--target", "5",
+        ]) == 0
+        warm_out = capsys.readouterr().out
+        assert "warm start" in warm_out
+        assert main([
+            "query", "--instance", "oahu", "--scale", "tiny",
+            "--source", "0", "--target", "5", "--cores", "4",
+            "--transfer-fraction", "0.3",
+        ]) == 0
+        cold_out = capsys.readouterr().out
+        # Same departure/arrival lines, whatever path produced them.
+        warm_lines = [l for l in warm_out.splitlines() if "depart" in l]
+        cold_lines = [l for l in cold_out.splitlines() if "depart" in l]
+        assert warm_lines and warm_lines == cold_lines
+
+    def test_profile_from_store(self, store, capsys):
+        assert main([
+            "profile", "--from-store", str(store),
+            "--source", "0", "--target", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "warm start" in out
+        assert "to    3" in out
+
+    def test_batch_from_store_json_is_clean(self, store, capsys):
+        import json
+
+        assert main([
+            "batch", "--from-store", str(store),
+            "--n-queries", "4", "--json",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 1
+        summary = json.loads(out)
+        assert summary["num_queries"] == 4
+        assert summary["transfer_stations"] > 0
+
+    def test_batch_from_store_runtime_overrides(self, store, capsys):
+        assert main([
+            "batch", "--from-store", str(store),
+            "--n-queries", "3", "--backend", "threads", "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "backend=threads workers=2" in out
+
+    def test_query_from_missing_store_fails_loudly(self, tmp_path):
+        """A bad store dies with the CLI's clean one-line error, not a
+        raw StoreError traceback."""
+        with pytest.raises(SystemExit, match="error: .*manifest"):
+            main([
+                "query", "--from-store", str(tmp_path / "nope"),
+                "--source", "0", "--target", "5",
+            ])
+
+    def test_from_store_rejects_preparation_flags(self, store):
+        """--kernel / --transfer-fraction shape preparation; silently
+        ignoring them next to --from-store would misreport what ran."""
+        with pytest.raises(SystemExit, match="--kernel"):
+            main([
+                "query", "--from-store", str(store),
+                "--source", "0", "--target", "5", "--kernel", "python",
+            ])
+        with pytest.raises(SystemExit, match="--transfer-fraction"):
+            main([
+                "batch", "--from-store", str(store),
+                "--n-queries", "3", "--transfer-fraction", "0.1",
+            ])
+        with pytest.raises(SystemExit, match="--scale"):
+            main([
+                "query", "--from-store", str(store),
+                "--source", "0", "--target", "5", "--scale", "medium",
+            ])
+        with pytest.raises(SystemExit, match="--seed"):
+            main([
+                "profile", "--from-store", str(store),
+                "--source", "0", "--seed", "3",
+            ])
+
+    def test_batch_from_store_keeps_seed_for_the_workload(self, store, capsys):
+        """--seed seeds the random query workload, not the dataset, so
+        it stays meaningful on a warm start."""
+        import json
+
+        outputs = []
+        for seed in ("1", "2"):
+            assert main([
+                "batch", "--from-store", str(store),
+                "--n-queries", "4", "--seed", seed, "--json",
+            ]) == 0
+            outputs.append(json.loads(capsys.readouterr().out))
+        assert outputs[0]["seed"] == 1
+        assert outputs[1]["seed"] == 2
+        assert (
+            outputs[0]["settled_connections"]
+            != outputs[1]["settled_connections"]
+        )
+
+    def test_from_store_conflicts_with_instance(self, store, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "query", "--from-store", str(store),
+                "--instance", "oahu",
+                "--source", "0", "--target", "5",
+            ])
+        capsys.readouterr()

@@ -68,6 +68,36 @@ class TestApplyDelays:
         with pytest.raises(ValueError, match="unknown train"):
             apply_delays(toy_timetable(), [Delay(train=999, minutes=1)])
 
+    def test_from_stop_at_last_departure_shifts_last_leg(self):
+        """Off-by-one boundary: train 0 has 2 legs, so from_stop=1 is
+        its *last* valid departure and must still take effect."""
+        tt = toy_timetable()
+        delayed = apply_delays(tt, [Delay(train=0, minutes=5, from_stop=1)])
+        assert train_lateness_profile(tt, delayed, 0) == [0, 5]
+
+    def test_from_stop_past_run_rejected(self):
+        """Regression: a from_stop at or past the train's run length
+        used to be silently ignored (the delay vanished)."""
+        tt = toy_timetable()  # train 0 runs A→B→C: 2 legs, stops 0 and 1
+        with pytest.raises(ValueError, match="from_stop 2 out of range"):
+            apply_delays(tt, [Delay(train=0, minutes=5, from_stop=2)])
+        with pytest.raises(ValueError, match="from_stop 99 out of range"):
+            apply_delays(tt, [Delay(train=0, minutes=5, from_stop=99)])
+
+    def test_from_stop_validated_per_train_run_length(self):
+        """The bound is each train's own run length: stop 1 exists for
+        the 2-leg train 0 but not for a 1-leg train."""
+        tt = toy_timetable()
+        one_leg_train = next(
+            t.id
+            for t in tt.trains
+            if sum(c.train == t.id for c in tt.connections) == 1
+        )
+        with pytest.raises(ValueError, match="out of range"):
+            apply_delays(tt, [Delay(train=one_leg_train, minutes=5, from_stop=1)])
+        # The same from_stop on the longer train is fine.
+        apply_delays(tt, [Delay(train=0, minutes=5, from_stop=1)])
+
     def test_negative_slack_rejected(self):
         with pytest.raises(ValueError, match="slack"):
             apply_delays(toy_timetable(), [], slack_per_leg=-1)

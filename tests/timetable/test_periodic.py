@@ -82,6 +82,19 @@ class TestParseFormat:
         with pytest.raises(ValueError):
             parse_time(text)
 
+    @pytest.mark.parametrize(
+        "text", ["08:30:xx", "08:30:99", "08:30:60", "08:30:-5", "08:30:"]
+    )
+    def test_parse_rejects_bad_seconds(self, text):
+        """Regression: the seconds field used to be dropped unread, so
+        non-numeric or out-of-range seconds parsed successfully."""
+        with pytest.raises(ValueError):
+            parse_time(text)
+
+    @pytest.mark.parametrize("text,minutes", [("08:30:00", 510), ("08:30:59", 510)])
+    def test_parse_valid_seconds_boundaries(self, text, minutes):
+        assert parse_time(text) == minutes
+
     def test_format(self):
         assert format_time(510) == "08:30"
 
