@@ -3,11 +3,13 @@
 Subcommands::
 
     generate   emit a named synthetic instance as a GTFS-like feed
-    info       summarize a timetable (stations, connections, density)
+    info       summarize a timetable (or a store manifest, without
+               hydrating: ``info --from-store DIR``)
     prepare    build every prepared artifact and persist it to a store
     profile    one-to-all profile query from a station
     query      station-to-station profile query
     batch      run a batched random query workload (throughput check)
+    serve      async multi-dataset HTTP query server over stores
     table1     regenerate Table 1 rows for an instance
     table2     regenerate Table 2 rows for an instance
 
@@ -29,6 +31,11 @@ preparation-shaping ``--kernel`` and ``--transfer-fraction`` are
 therefore rejected next to ``--from-store`` (re-run ``prepare`` to
 change them), while the runtime-only ``--cores`` / ``--backend`` /
 ``--workers`` still apply when given explicitly.
+
+Long-running commands handle SIGINT/SIGTERM gracefully: ``serve``
+stops accepting, drains in-flight requests and exits 0; an
+interrupted ``prepare --store`` aborts cleanly and never leaves a
+partial manifest (the store simply refuses to load until re-prepared).
 """
 
 from __future__ import annotations
@@ -36,7 +43,10 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import signal
 import sys
+import threading
+from contextlib import contextmanager
 
 from repro.analysis import render_table1, render_table2, run_table1, run_table2
 from repro.core import KERNELS
@@ -95,6 +105,41 @@ def _load(args: argparse.Namespace) -> Timetable:
     return make_instance(args.instance, scale, seed)
 
 
+class _Interrupted(Exception):
+    """SIGINT/SIGTERM arrived inside a :func:`_graceful_signals` block."""
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(signal.Signals(signum).name)
+        self.signum = signum
+
+
+@contextmanager
+def _graceful_signals():
+    """Convert SIGINT/SIGTERM into :class:`_Interrupted` so commands
+    unwind through ``finally`` blocks (no half-written state) instead
+    of dying at an arbitrary bytecode.
+
+    A no-op off the main thread (signal handlers can only be installed
+    there — e.g. pytest-run commands stay untouched elsewhere).
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _handler(signum, frame):
+        raise _Interrupted(signum)
+
+    previous = {
+        sig: signal.signal(sig, _handler)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        yield
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     timetable = make_instance(args.instance, args.scale, args.seed)
     save_gtfs(timetable, args.output)
@@ -103,6 +148,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
+    store = getattr(args, "from_store", None)
+    if store:
+        return _info_from_store(args, store)
     timetable = _load(args)
     graph = build_td_graph(timetable)
     print(timetable.summary())
@@ -111,6 +159,58 @@ def _cmd_info(args: argparse.Namespace) -> int:
         f"({graph.num_stations} station, {graph.num_route_nodes} route), "
         f"{graph.num_edges} edges, {len(graph.routes)} routes"
     )
+    return 0
+
+
+def _info_from_store(args: argparse.Namespace, store: str) -> int:
+    """Describe a store from its manifest alone — no packed buffer is
+    opened, no artifact hydrated, so this is instant on any size."""
+    for flag, value in (("--scale", args.scale), ("--seed", args.seed)):
+        if value is not None:
+            raise SystemExit(
+                f"error: {flag} cannot be combined with --from-store "
+                f"(the manifest describes what was prepared)"
+            )
+    try:
+        info = describe_store(store)
+    except StoreError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    counts = info["counts"]
+    config = info["config"]
+    sizes = info["sizes_bytes"]
+    print(
+        f"artifact store {store} "
+        f"(format v{info['format_version']}, "
+        f"config {info['config_hash'][:12]}…)"
+    )
+    print(
+        f"  timetable {info['timetable_name']}: "
+        f"{counts['stations']} stations, {counts['trains']} trains, "
+        f"{counts['connections']} connections"
+    )
+    print(
+        f"  graph: {counts['nodes']} nodes, {counts['edges']} edges, "
+        f"{counts['routes']} routes"
+    )
+    table_note = (
+        f"distance table over {counts['transfer_stations']} "
+        f"transfer stations"
+        if info["artifacts"]["table"]
+        else "no distance table"
+    )
+    print(f"  artifacts: {table_note}")
+    print(
+        f"  config: kernel={config['kernel']} "
+        f"num_threads={config['num_threads']} "
+        f"backend={config['backend']} workers={config['workers']} "
+        f"use_distance_table={config['use_distance_table']} "
+        f"transfer_fraction={config['transfer_fraction']}"
+    )
+    detail = ", ".join(
+        f"{name} {size / 1024:.1f} KiB" for name, size in sorted(sizes.items())
+    )
+    print(f"  on disk: {info['total_bytes'] / 1024:.1f} KiB ({detail})")
+    print(f"  warm-start with: --from-store {store}")
     return 0
 
 
@@ -336,9 +436,21 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_prepare(args: argparse.Namespace) -> int:
-    timetable = _load(args)
-    service = _make_service(args, timetable, cores=args.cores)
-    service.save(args.store)
+    try:
+        with _graceful_signals():
+            timetable = _load(args)
+            service = _make_service(args, timetable, cores=args.cores)
+            service.save(args.store)
+    except _Interrupted as exc:
+        # save_dataset unlinks the old manifest first and renames the
+        # new one into place last, so however far the save got, the
+        # store either loads a complete generation or refuses to load.
+        print(
+            f"interrupted ({exc}); no manifest written — "
+            f"{args.store} will refuse to load until prepare is re-run",
+            file=sys.stderr,
+        )
+        return 130
     info = describe_store(args.store)
     stats = service.prepare_stats
     print(
@@ -354,6 +466,64 @@ def _cmd_prepare(args: argparse.Namespace) -> int:
         f"config {info['config_hash'][:12]}…)\n"
         f"warm-start with: --from-store {args.store}"
     )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Long-lived multi-dataset HTTP server over artifact stores.
+
+    Warm-loads every ``--store`` (the directory basename names the
+    dataset), then serves until SIGINT/SIGTERM, which triggers a
+    graceful drain (stop accepting, finish in-flight requests, flush
+    micro-batch windows) and a clean exit 0.
+    """
+    # Imported here: the server pulls in asyncio machinery that no
+    # other subcommand needs.
+    import asyncio
+
+    from repro.server import DatasetRegistry, TransitServer
+
+    try:
+        registry = DatasetRegistry.from_stores(args.store)
+    except (StoreError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+    async def _run() -> None:
+        server = TransitServer(
+            registry,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_inflight=args.max_inflight,
+            batch_window=args.batch_window_ms / 1000.0,
+            batch_max=args.batch_max,
+        )
+        await server.start()
+        for entry in registry.entries():
+            stats = entry.service.prepare_stats
+            print(
+                f"  dataset {entry.name}: {stats.num_stations} stations, "
+                f"{stats.num_connections} connections "
+                f"(warm-loaded from {entry.source})"
+            )
+        print(
+            f"listening on http://{server.host}:{server.port} "
+            f"(workers={args.workers}, max_inflight={args.max_inflight}, "
+            f"batch_window={args.batch_window_ms:g} ms)",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        print("signal received — draining in-flight requests", flush=True)
+        await server.shutdown()
+        snapshot = server.metrics.snapshot()
+        total = sum(snapshot["requests_total"].values())
+        print(f"drained; served {total} request(s)", flush=True)
+
+    asyncio.run(_run())
     return 0
 
 
@@ -394,8 +564,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--output", required=True, help="output directory")
     p_gen.set_defaults(func=_cmd_generate)
 
-    p_info = sub.add_parser("info", help="summarize a timetable")
-    _add_input_arguments(p_info)
+    p_info = sub.add_parser(
+        "info",
+        help="summarize a timetable (or a store manifest via "
+        "--from-store, without hydrating any artifact)",
+    )
+    _add_input_arguments(p_info, allow_store=True)
     p_info.set_defaults(func=_cmd_info)
 
     p_prepare = sub.add_parser(
@@ -487,6 +661,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a one-line JSON throughput summary instead of text",
     )
     p_batch.set_defaults(func=_cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="async multi-dataset HTTP query server over artifact stores",
+    )
+    p_serve.add_argument(
+        "--store",
+        action="append",
+        required=True,
+        metavar="DIR",
+        help="artifact store to serve (repeatable; the directory "
+        "basename names the dataset)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="listening port (0 = ephemeral, printed on startup)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="query worker threads (default: 4)",
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="admission bound: further query requests get a fast 503 "
+        "(default: 64)",
+    )
+    p_serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="micro-batch collection window for concurrent journey "
+        "requests, in ms (0 disables micro-batching; default: 2)",
+    )
+    p_serve.add_argument(
+        "--batch-max",
+        type=int,
+        default=8,
+        help="micro-batch size cap (default: 8)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     for name, fn in (("table1", _cmd_table1), ("table2", _cmd_table2)):
         p_tab = sub.add_parser(name, help=f"regenerate {name} for an instance")

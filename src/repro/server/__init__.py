@@ -1,0 +1,48 @@
+"""The serving layer: an async multi-dataset query server (stdlib-only).
+
+PRs 1–3 built fast kernels, the prepare-once
+:class:`~repro.service.TransitService` facade, and warm-start
+persistence; this package turns those prepared artifacts into a
+long-lived, concurrent network service — the interactive
+journey-planning *service* the paper frames SPCS as the engine for.
+
+* :mod:`repro.server.protocol` — versioned JSON wire schema with
+  strict validation and typed error payloads;
+* :mod:`repro.server.registry` — named datasets warm-loaded from
+  :mod:`repro.store`, with atomic hot delay swaps;
+* :mod:`repro.server.executor` — worker-pool execution; concurrent
+  journeys micro-batch into one
+  :class:`~repro.query.batch.BatchQueryEngine` pass;
+* :mod:`repro.server.app` — HTTP routing, bounded admission (fast 503
+  on overload), graceful drain;
+* :mod:`repro.server.metrics` — request counters, latency histograms,
+  cache hit rates.
+
+Entry points: ``repro-transit serve --store DIR --port N`` (CLI) or
+embed :class:`TransitServer` directly (``examples/serve_city.py``).
+See ``docs/SERVER.md`` for the wire protocol and operational
+semantics.
+"""
+
+from repro.server.app import MAX_BODY_BYTES, TransitServer
+from repro.server.executor import QueryExecutor
+from repro.server.metrics import LatencyHistogram, ServerMetrics
+from repro.server.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.server.registry import (
+    DatasetEntry,
+    DatasetRegistry,
+    RegistryError,
+)
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "PROTOCOL_VERSION",
+    "DatasetEntry",
+    "DatasetRegistry",
+    "LatencyHistogram",
+    "ProtocolError",
+    "QueryExecutor",
+    "RegistryError",
+    "ServerMetrics",
+    "TransitServer",
+]

@@ -1,0 +1,439 @@
+"""The asyncio HTTP front end (stdlib-only, HTTP/1.1 keep-alive).
+
+Endpoints (all bodies JSON, see :mod:`repro.server.protocol` and
+``docs/SERVER.md``)::
+
+    GET  /healthz                     liveness + served dataset names
+    GET  /metrics                     ServerMetrics snapshot
+    GET  /v1/datasets                 per-dataset summaries
+    POST /v1/datasets/{name}/delays   hot delay swap (replan + swap)
+    POST /v1/{name}/profile           one-to-all profile search
+    POST /v1/{name}/journey           station-to-station query
+    POST /v1/{name}/batch             batched workload
+
+Design:
+
+* **No blocking on the loop** — every service call runs on the
+  :class:`~repro.server.executor.QueryExecutor` worker pool; the loop
+  only parses, routes, and serializes.
+* **Bounded admission** — at most ``max_inflight`` query requests (and
+  delay swaps, which are worker-pool jobs like any query) are in
+  flight; the next one is answered ``503 overloaded`` immediately
+  (closed-loop clients back off instead of queueing into timeout).
+  ``/healthz`` and ``/metrics`` are always admitted.
+* **Hot swaps drain, never break** — a query pins its dataset's
+  service reference at admission; the swap replaces the reference for
+  *later* requests only (:mod:`repro.server.registry`).
+* **Graceful shutdown** — :meth:`TransitServer.shutdown` stops
+  accepting, lets in-flight requests finish, flushes the executor's
+  micro-batch windows, then stops the pool.  ``repro serve`` wires
+  SIGINT/SIGTERM to exactly this path and exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+from repro.server.executor import QueryExecutor
+from repro.server.metrics import ServerMetrics
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_batch,
+    encode_journey,
+    encode_profile,
+    parse_batch_request,
+    parse_delay_request,
+    parse_journey_request,
+    parse_profile_request,
+)
+from repro.server.registry import DatasetRegistry, RegistryError
+
+#: Request bodies above this are rejected with 413 before parsing.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Sentinel: the request declared a Content-Length over the cap and
+#: its body was never read off the socket.
+_BODY_TOO_LARGE = object()
+
+_QUERY_SHAPES = ("profile", "journey", "batch")
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class TransitServer:
+    """One listening socket over one :class:`DatasetRegistry`."""
+
+    def __init__(
+        self,
+        registry: DatasetRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 4,
+        max_inflight: int = 64,
+        batch_window: float = 0.002,
+        batch_max: int = 8,
+        executor: QueryExecutor | None = None,
+        metrics: ServerMetrics | None = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        self.registry = registry
+        self.host = host
+        self.port = port  # replaced by the bound port after start()
+        self.max_inflight = max_inflight
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+        self.executor = (
+            executor
+            if executor is not None
+            else QueryExecutor(
+                workers=workers,
+                batch_window=batch_window,
+                batch_max=batch_max,
+                metrics=self.metrics,
+            )
+        )
+        if self.executor.metrics is None:
+            self.executor.metrics = self.metrics
+        self._server: asyncio.base_events.Server | None = None
+        self._inflight = 0
+        self._draining = False
+        #: Connections currently parked between requests (waiting in
+        #: readline); shutdown force-closes exactly these so idle
+        #: keep-alive clients cannot stall the drain.
+        self._idle_connections: set[asyncio.StreamWriter] = set()
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting; ``self.port`` holds the bound
+        port afterwards (pass ``port=0`` for an ephemeral one)."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        await self._server.serve_forever()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight requests,
+        flush micro-batch windows, stop the worker pool.
+
+        Idle keep-alive connections are force-closed once the last
+        in-flight request finished — their handlers are parked in a
+        read that nothing else would ever wake, and (from Python
+        3.12.1) ``wait_closed`` waits for every handler to return.
+        Handlers that are mid-request finish their response first
+        (draining breaks their keep-alive loop)."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        while self._inflight > 0:
+            await asyncio.sleep(0.005)
+        for writer in list(self._idle_connections):
+            writer.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+        await self.executor.shutdown()
+
+    # -- connection handling -------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                # Parked between requests: eligible for force-close by
+                # a draining shutdown.
+                self._idle_connections.add(writer)
+                try:
+                    request = await self._read_request(reader)
+                finally:
+                    self._idle_connections.discard(writer)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                if body is _BODY_TOO_LARGE:
+                    status, payload = 413, _error(
+                        "payload_too_large",
+                        f"request body exceeds {MAX_BODY_BYTES} bytes",
+                    )
+                    # The oversized body was never read off the socket,
+                    # so the connection cannot be reused.
+                    keep_alive = False
+                else:
+                    status, payload = await self._dispatch(
+                        method, path, body
+                    )
+                    keep_alive = (
+                        headers.get("connection", "").lower() != "close"
+                        and not self._draining
+                    )
+                data = json.dumps(payload).encode("utf-8")
+                head = (
+                    f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(data)}\r\n"
+                    f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+                    f"\r\n"
+                ).encode("latin-1")
+                writer.write(head + data)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+            ValueError,  # malformed request line / headers
+        ):
+            pass  # client went away or spoke garbage; just close
+        finally:
+            self._idle_connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        """Parse one HTTP/1.1 request; ``None`` on a clean EOF.  An
+        oversized body is left unread and signalled with the
+        :data:`_BODY_TOO_LARGE` sentinel (answered 413 upstream)."""
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise asyncio.IncompleteReadError(line, None)
+        method, path, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            return method, path, headers, _BODY_TOO_LARGE
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    # -- routing --------------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict]:
+        endpoint = self._endpoint_label(method, path)
+        self.metrics.observe_request(endpoint)
+        t0 = time.perf_counter()
+        try:
+            status, payload = await self._route(method, path, body, endpoint)
+        except ProtocolError as exc:
+            status, payload = exc.status, exc.payload()
+        except RegistryError as exc:
+            status, payload = 404, _error("unknown_dataset", str(exc))
+        except ValueError as exc:
+            # Domain validation the protocol layer cannot see (e.g.
+            # Delay.from_stop past the train's run).
+            status, payload = 400, _error("invalid_request", str(exc))
+        except Exception as exc:  # noqa: BLE001 — last-resort 500
+            status, payload = 500, _error(
+                "internal", f"{type(exc).__name__}: {exc}"
+            )
+        self.metrics.observe_response(
+            endpoint, status, time.perf_counter() - t0
+        )
+        return status, payload
+
+    def _endpoint_label(self, method: str, path: str) -> str:
+        """Low-cardinality endpoint label for metrics (dataset names
+        are folded out of the label; per-dataset detail lives in the
+        registry section of the snapshot)."""
+        parts = [p for p in path.split("?")[0].split("/") if p]
+        if parts == ["healthz"] or parts == ["metrics"]:
+            return f"{method} /{parts[0]}"
+        if parts[:2] == ["v1", "datasets"]:
+            if len(parts) == 2:
+                return "GET /v1/datasets"
+            return "POST /v1/datasets/{name}/delays"
+        if len(parts) == 3 and parts[0] == "v1" and parts[2] in _QUERY_SHAPES:
+            return f"POST /v1/{{name}}/{parts[2]}"
+        return f"{method} <unmatched>"
+
+    async def _route(
+        self, method: str, path: str, body: bytes, endpoint: str
+    ) -> tuple[int, dict]:
+        parts = [p for p in path.split("?")[0].split("/") if p]
+
+        if parts == ["healthz"]:
+            _require_method(method, "GET")
+            return 200, {
+                "v": PROTOCOL_VERSION,
+                "status": "draining" if self._draining else "ok",
+                "datasets": self.registry.names(),
+            }
+
+        if parts == ["metrics"]:
+            _require_method(method, "GET")
+            return 200, {
+                "v": PROTOCOL_VERSION,
+                **self.metrics.snapshot(self.registry),
+            }
+
+        if parts == ["v1", "datasets"]:
+            _require_method(method, "GET")
+            return 200, {
+                "v": PROTOCOL_VERSION,
+                "datasets": [
+                    entry.describe() for entry in self.registry.entries()
+                ],
+            }
+
+        if (
+            len(parts) == 4
+            and parts[:2] == ["v1", "datasets"]
+            and parts[3] == "delays"
+        ):
+            _require_method(method, "POST")
+            return await self._handle_delays(parts[2], body, endpoint)
+
+        if len(parts) == 3 and parts[0] == "v1" and parts[2] in _QUERY_SHAPES:
+            _require_method(method, "POST")
+            return await self._handle_query(parts[1], parts[2], body, endpoint)
+
+        raise ProtocolError(
+            "unknown_route", f"no route for {method} {path}", status=404
+        )
+
+    # -- handlers -------------------------------------------------------
+
+    def _admit(self, endpoint: str) -> tuple[int, dict] | None:
+        """Admission control: fast 503 instead of an unbounded queue.
+        Returns the rejection response, or ``None`` when admitted."""
+        if self._draining:
+            self.metrics.observe_reject(endpoint)
+            return 503, _error(
+                "draining", "server is shutting down", retriable=True
+            )
+        if self._inflight >= self.max_inflight:
+            self.metrics.observe_reject(endpoint)
+            return 503, _error(
+                "overloaded",
+                f"{self._inflight} requests in flight "
+                f"(max_inflight={self.max_inflight}); retry",
+                retriable=True,
+            )
+        return None
+
+    async def _handle_query(
+        self, name: str, shape: str, body: bytes, endpoint: str
+    ) -> tuple[int, dict]:
+        rejection = self._admit(endpoint)
+        if rejection is not None:
+            return rejection
+        # Pin the service *before* any await: a hot swap mid-request
+        # must not change what this request runs against.
+        entry = self.registry.get(name)
+        service = entry.service
+        num_stations = service.timetable.num_stations
+        self._inflight += 1
+        self.metrics.inflight = self._inflight
+        try:
+            parsed = _parse_body(body)
+            if shape == "profile":
+                request, targets = parse_profile_request(parsed, num_stations)
+                result = await self.executor.profile(service, request)
+                return 200, encode_profile(
+                    result, num_stations=num_stations, targets=targets
+                )
+            if shape == "journey":
+                request = parse_journey_request(parsed, num_stations)
+                result = await self.executor.journey(service, request)
+                return 200, encode_journey(result)
+            request = parse_batch_request(parsed, num_stations)
+            response = await self.executor.batch(service, request)
+            return 200, encode_batch(response, num_stations=num_stations)
+        finally:
+            self._inflight -= 1
+            self.metrics.inflight = self._inflight
+
+    async def _handle_delays(
+        self, name: str, body: bytes, endpoint: str
+    ) -> tuple[int, dict]:
+        # Replans are CPU-heavy worker-pool jobs like any query: they
+        # obey the same admission bound (a swap storm must not starve
+        # queries) and a draining server starts no new ones.
+        rejection = self._admit(endpoint)
+        if rejection is not None:
+            return rejection
+        self._inflight += 1
+        self.metrics.inflight = self._inflight
+        try:
+            entry = self.registry.get(name)
+            delays, slack = parse_delay_request(
+                _parse_body(body), entry.service.timetable.num_trains
+            )
+            entry = await self.registry.apply_delays(
+                name,
+                delays,
+                slack_per_leg=slack,
+                run=self.executor.run,
+            )
+            self.metrics.observe_swap(name, entry.last_swap_seconds)
+            return 200, {
+                "v": PROTOCOL_VERSION,
+                "dataset": name,
+                "generation": entry.generation,
+                "num_delays": len(delays),
+                "slack_per_leg": slack,
+                "swap_seconds": round(entry.last_swap_seconds, 6),
+            }
+        finally:
+            self._inflight -= 1
+            self.metrics.inflight = self._inflight
+
+
+def _parse_body(body: bytes) -> object:
+    if not body:
+        raise ProtocolError("invalid_request", "request body is empty")
+    try:
+        return json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(
+            "invalid_json", f"request body is not valid JSON: {exc}"
+        ) from None
+
+
+def _require_method(method: str, expected: str) -> None:
+    if method != expected:
+        raise ProtocolError(
+            "method_not_allowed",
+            f"use {expected} for this endpoint, not {method}",
+            status=405,
+        )
+
+
+def _error(code: str, message: str, *, retriable: bool = False) -> dict:
+    payload = ProtocolError(code, message).payload()
+    if retriable:
+        payload["error"]["retriable"] = True
+    return payload

@@ -1,0 +1,438 @@
+"""Versioned JSON wire schema of the query server.
+
+Every request and response body is one JSON object carrying the
+protocol version under ``"v"`` (:data:`PROTOCOL_VERSION`; requests may
+omit it and get the current version, an explicit mismatch is
+rejected).  Request objects map one-to-one onto the service layer's
+typed requests:
+
+==========================  =========================================
+wire object                 service request
+==========================  =========================================
+``{"source"}``              :class:`~repro.service.model.ProfileRequest`
+``{"source", "target"}``    :class:`~repro.service.model.JourneyRequest`
+``{"journeys", "profiles"}``  :class:`~repro.service.model.BatchRequest`
+``{"delays"}``              ``TransitService.apply_delays`` input
+==========================  =========================================
+
+Validation is strict: unknown fields, wrong types, and out-of-range
+stations/trains are rejected with a typed :class:`ProtocolError`
+before any search runs.  Errors serialize to a uniform payload::
+
+    {"v": 1, "error": {"code": "...", "message": "...", "field": ...}}
+
+and carry the HTTP status the server should answer with.  Encoding is
+deterministic — all payload numbers are plain ints (minutes since
+midnight for times, :data:`~repro.functions.piecewise.INF_TIME` for
+unreachable) — which is what lets the end-to-end tests pin server
+answers bitwise-identical to direct :class:`TransitService` calls
+(``tests/server/test_server_e2e.py``).
+
+Everything here is pure: no I/O, no asyncio — the module is equally
+usable by the server, by clients, and by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.query.batch import BatchStats
+from repro.service.model import (
+    BatchRequest,
+    BatchResponse,
+    JourneyRequest,
+    JourneyResult,
+    ProfileRequest,
+    ProfileResult,
+    QueryStats,
+)
+from repro.timetable.delays import Delay
+
+#: Bumped on any incompatible change to the wire schema.
+PROTOCOL_VERSION = 1
+
+#: Cap on wire-requested per-query cores: ``num_threads`` sizes the
+#: connection partitioning (allocations scale with it), so an
+#: unauthenticated request must not be able to ask for millions.
+MAX_NUM_THREADS = 64
+
+
+class ProtocolError(Exception):
+    """A request the wire schema rejects, with its HTTP status.
+
+    ``code`` is a stable machine-readable identifier (clients branch on
+    it; the exact ``message`` text is not contractual), ``field`` names
+    the offending request field when one can be singled out.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        *,
+        field: str | None = None,
+        status: int = 400,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.field = field
+        self.status = status
+
+    def payload(self) -> dict:
+        error: dict = {"code": self.code, "message": self.message}
+        if self.field is not None:
+            error["field"] = self.field
+        return {"v": PROTOCOL_VERSION, "error": error}
+
+
+# ---------------------------------------------------------------------------
+# Validation primitives
+# ---------------------------------------------------------------------------
+
+
+def _require_object(body: object, *, what: str = "request body") -> dict:
+    if not isinstance(body, dict):
+        raise ProtocolError(
+            "invalid_request",
+            f"{what} must be a JSON object, got {type(body).__name__}",
+        )
+    return body
+
+
+def _check_version(body: dict) -> None:
+    version = body.get("v", PROTOCOL_VERSION)
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise ProtocolError(
+            "invalid_request", "protocol version must be an integer", field="v"
+        )
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "unsupported_version",
+            f"protocol version {version} is not supported "
+            f"(this server speaks version {PROTOCOL_VERSION})",
+            field="v",
+        )
+
+
+def _reject_unknown(obj: dict, allowed: frozenset[str], *, where: str) -> None:
+    unknown = sorted(set(obj) - allowed)
+    if unknown:
+        raise ProtocolError(
+            "unknown_field",
+            f"unknown field(s) {unknown} in {where} "
+            f"(allowed: {sorted(allowed)})",
+            field=unknown[0],
+        )
+
+
+def _int_field(
+    obj: dict,
+    name: str,
+    *,
+    where: str,
+    required: bool = False,
+    default: int | None = None,
+    lo: int | None = None,
+    hi: int | None = None,
+) -> int | None:
+    if name not in obj:
+        if required:
+            raise ProtocolError(
+                "missing_field", f"{where} needs {name!r}", field=name
+            )
+        return default
+    value = obj[name]
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ProtocolError(
+            "invalid_type",
+            f"{where}.{name} must be an integer, "
+            f"got {type(value).__name__}",
+            field=name,
+        )
+    if lo is not None and value < lo:
+        raise ProtocolError(
+            "out_of_range", f"{where}.{name} must be >= {lo}, got {value}",
+            field=name,
+        )
+    if hi is not None and value >= hi:
+        raise ProtocolError(
+            "out_of_range",
+            f"{where}.{name} must be < {hi}, got {value}",
+            field=name,
+        )
+    return value
+
+
+def _station_field(
+    obj: dict, name: str, num_stations: int, *, where: str, required: bool = True
+) -> int | None:
+    return _int_field(
+        obj, name, where=where, required=required, lo=0, hi=num_stations
+    )
+
+
+# ---------------------------------------------------------------------------
+# Request parsing
+# ---------------------------------------------------------------------------
+
+_PROFILE_FIELDS = frozenset({"v", "source", "num_threads", "targets"})
+_JOURNEY_FIELDS = frozenset({"v", "source", "target", "departure"})
+_BATCH_FIELDS = frozenset({"v", "journeys", "profiles"})
+_DELAY_FIELDS = frozenset({"v", "delays", "slack_per_leg"})
+_DELAY_ITEM_FIELDS = frozenset({"train", "minutes", "from_stop"})
+
+
+def parse_profile_request(
+    body: object, num_stations: int
+) -> tuple[ProfileRequest, tuple[int, ...] | None]:
+    """Parse a one-to-all request.  Returns the service request plus
+    the optional response restriction: ``targets`` limits which
+    stations the response encodes profiles for (the search itself is
+    always one-to-all)."""
+    obj = _require_object(body)
+    _check_version(obj)
+    _reject_unknown(obj, _PROFILE_FIELDS, where="profile request")
+    source = _station_field(obj, "source", num_stations, where="profile")
+    num_threads = _int_field(
+        obj, "num_threads", where="profile", lo=1, hi=MAX_NUM_THREADS + 1
+    )
+    targets: tuple[int, ...] | None = None
+    if "targets" in obj:
+        raw = obj["targets"]
+        if not isinstance(raw, list) or not raw:
+            raise ProtocolError(
+                "invalid_type",
+                "profile.targets must be a non-empty list of stations",
+                field="targets",
+            )
+        checked: list[int] = []
+        for i, t in enumerate(raw):
+            if not isinstance(t, int) or isinstance(t, bool):
+                raise ProtocolError(
+                    "invalid_type",
+                    f"profile.targets[{i}] must be an integer",
+                    field="targets",
+                )
+            if not 0 <= t < num_stations:
+                raise ProtocolError(
+                    "out_of_range",
+                    f"profile.targets[{i}] must be within "
+                    f"[0, {num_stations}), got {t}",
+                    field="targets",
+                )
+            checked.append(t)
+        targets = tuple(checked)
+    return ProfileRequest(source, num_threads=num_threads), targets
+
+
+def parse_journey_request(body: object, num_stations: int) -> JourneyRequest:
+    obj = _require_object(body)
+    _check_version(obj)
+    _reject_unknown(obj, _JOURNEY_FIELDS, where="journey request")
+    source = _station_field(obj, "source", num_stations, where="journey")
+    target = _station_field(obj, "target", num_stations, where="journey")
+    departure = _int_field(obj, "departure", where="journey", lo=0)
+    return JourneyRequest(source, target, departure)
+
+
+def parse_batch_request(body: object, num_stations: int) -> BatchRequest:
+    obj = _require_object(body)
+    _check_version(obj)
+    _reject_unknown(obj, _BATCH_FIELDS, where="batch request")
+    journeys: list[JourneyRequest] = []
+    profiles: list[ProfileRequest] = []
+    for i, item in enumerate(_item_list(obj, "journeys")):
+        sub = _require_object(item, what=f"batch.journeys[{i}]")
+        _reject_unknown(
+            sub,
+            _JOURNEY_FIELDS - {"v"},
+            where=f"batch.journeys[{i}]",
+        )
+        journeys.append(
+            JourneyRequest(
+                _station_field(
+                    sub, "source", num_stations, where=f"batch.journeys[{i}]"
+                ),
+                _station_field(
+                    sub, "target", num_stations, where=f"batch.journeys[{i}]"
+                ),
+                _int_field(
+                    sub, "departure", where=f"batch.journeys[{i}]", lo=0
+                ),
+            )
+        )
+    for i, item in enumerate(_item_list(obj, "profiles")):
+        sub = _require_object(item, what=f"batch.profiles[{i}]")
+        _reject_unknown(
+            sub,
+            frozenset({"source", "num_threads"}),
+            where=f"batch.profiles[{i}]",
+        )
+        profiles.append(
+            ProfileRequest(
+                _station_field(
+                    sub, "source", num_stations, where=f"batch.profiles[{i}]"
+                ),
+                num_threads=_int_field(
+                    sub,
+                    "num_threads",
+                    where=f"batch.profiles[{i}]",
+                    lo=1,
+                    hi=MAX_NUM_THREADS + 1,
+                ),
+            )
+        )
+    if not journeys and not profiles:
+        raise ProtocolError(
+            "invalid_request",
+            "batch request needs at least one journey or profile",
+        )
+    return BatchRequest(journeys=tuple(journeys), profiles=tuple(profiles))
+
+
+def _item_list(obj: dict, name: str) -> list:
+    raw = obj.get(name, [])
+    if not isinstance(raw, list):
+        raise ProtocolError(
+            "invalid_type",
+            f"batch.{name} must be a list, got {type(raw).__name__}",
+            field=name,
+        )
+    return raw
+
+
+def parse_delay_request(
+    body: object, num_trains: int
+) -> tuple[list[Delay], int]:
+    """Parse a hot-swap request into ``(delays, slack_per_leg)``.
+
+    ``from_stop`` bounds depend on each train's run length, which only
+    ``apply_delays`` knows — the registry surfaces its ``ValueError``
+    as a 400, so a bad ``from_stop`` is still a typed client error."""
+    obj = _require_object(body)
+    _check_version(obj)
+    _reject_unknown(obj, _DELAY_FIELDS, where="delay request")
+    raw = obj.get("delays")
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError(
+            "invalid_request",
+            "delay request needs a non-empty 'delays' list",
+            field="delays",
+        )
+    slack = _int_field(
+        obj, "slack_per_leg", where="delay request", default=0, lo=0
+    )
+    delays: list[Delay] = []
+    for i, item in enumerate(raw):
+        sub = _require_object(item, what=f"delays[{i}]")
+        _reject_unknown(sub, _DELAY_ITEM_FIELDS, where=f"delays[{i}]")
+        train = _int_field(
+            sub, "train", where=f"delays[{i}]", required=True,
+            lo=0, hi=num_trains,
+        )
+        minutes = _int_field(
+            sub, "minutes", where=f"delays[{i}]", required=True, lo=0
+        )
+        from_stop = _int_field(
+            sub, "from_stop", where=f"delays[{i}]", default=0, lo=0
+        )
+        delays.append(Delay(train=train, minutes=minutes, from_stop=from_stop))
+    return delays, slack
+
+
+# ---------------------------------------------------------------------------
+# Response encoding
+# ---------------------------------------------------------------------------
+
+
+def _points(profile) -> list[list[int]]:
+    return [[int(dep), int(dur)] for dep, dur in profile.connection_points()]
+
+
+def encode_query_stats(stats: QueryStats) -> dict:
+    return {
+        "kind": stats.kind,
+        "kernel": stats.kernel,
+        "num_threads": stats.num_threads,
+        "settled_connections": stats.settled_connections,
+        "simulated_seconds": stats.simulated_seconds,
+        "total_seconds": stats.total_seconds,
+        "classification": stats.classification,
+        "table_prunes": stats.table_prunes,
+        "connection_stops": stats.connection_stops,
+        "cache_hit": stats.cache_hit,
+    }
+
+
+def encode_batch_stats(stats: BatchStats) -> dict:
+    return {
+        "num_queries": stats.num_queries,
+        "backend": stats.backend,
+        "kernel": stats.kernel,
+        "num_workers": stats.num_workers,
+        "setup_seconds": stats.setup_seconds,
+        "total_seconds": stats.total_seconds,
+    }
+
+
+def encode_journey(result: JourneyResult) -> dict:
+    legs = None
+    if result.legs is not None:
+        legs = [
+            {
+                "from_station": leg.from_station,
+                "to_station": leg.to_station,
+                "departure": leg.departure,
+                "arrival": leg.arrival,
+            }
+            for leg in result.legs
+        ]
+    return {
+        "v": PROTOCOL_VERSION,
+        "kind": "journey",
+        "source": result.source,
+        "target": result.target,
+        "reachable": result.reachable,
+        "profile": _points(result.profile),
+        "departure": result.departure,
+        "arrival": None if result.arrival is None else int(result.arrival),
+        "legs": legs,
+        "stats": encode_query_stats(result.stats),
+    }
+
+
+def encode_profile(
+    result: ProfileResult,
+    *,
+    num_stations: int,
+    targets: Sequence[int] | None = None,
+) -> dict:
+    """Encode a one-to-all answer; ``targets`` (from the request)
+    restricts which stations' profiles travel over the wire."""
+    stations = range(num_stations) if targets is None else targets
+    profiles = {
+        str(t): _points(result.profile(t))
+        for t in stations
+        if t != result.source
+    }
+    return {
+        "v": PROTOCOL_VERSION,
+        "kind": "profile",
+        "source": result.source,
+        "profiles": profiles,
+        "stats": encode_query_stats(result.stats),
+    }
+
+
+def encode_batch(response: BatchResponse, *, num_stations: int) -> dict:
+    return {
+        "v": PROTOCOL_VERSION,
+        "kind": "batch",
+        "journeys": [encode_journey(j) for j in response.journeys],
+        "profiles": [
+            encode_profile(p, num_stations=num_stations)
+            for p in response.profiles
+        ],
+        "stats": encode_batch_stats(response.stats),
+    }

@@ -10,9 +10,11 @@ cache (:meth:`TransitService.apply_delays`), which is exactly the
 invalidation the dynamic scenario needs: answers computed before a
 delay can never leak into the delayed service.
 
-Cached responses are returned by reference and must be treated as
-read-only (they are the same objects a fresh query would have built,
-including their original ``QueryStats`` timings).
+The facade answers a hit with a *shallow copy* of the stored entry
+whose :class:`~repro.service.model.QueryStats` carry
+``cache_hit=True`` — the heavy payloads (profiles, label matrices,
+legs) are shared by reference and must be treated as read-only; the
+stored entry itself is never mutated and keeps its original timings.
 """
 
 from __future__ import annotations

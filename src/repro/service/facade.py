@@ -31,7 +31,9 @@ artifacts — so answers are bitwise-identical to the historical paths
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from pathlib import Path
+from threading import Lock
 from typing import Sequence
 
 from repro.core.parallel import parallel_profile_search
@@ -60,6 +62,25 @@ from repro.service.prepare import (
 )
 from repro.timetable.delays import Delay, apply_delays as _delay_timetable
 from repro.timetable.types import Timetable
+
+
+def _mark_cache_hit(result):
+    """A shallow copy of a cached answer whose :class:`QueryStats`
+    carry ``cache_hit=True``.
+
+    The heavy payloads (profiles, label matrices, legs) are shared
+    with the cache entry — only the small stats/result shells are
+    copied — so callers can distinguish cached answers without the
+    stored entry ever being mutated (it keeps ``cache_hit=False`` and
+    its original timings).
+    """
+    if isinstance(result, BatchResponse):
+        return BatchResponse(
+            journeys=[_mark_cache_hit(j) for j in result.journeys],
+            profiles=[_mark_cache_hit(p) for p in result.profiles],
+            stats=result.stats,
+        )
+    return replace(result, stats=replace(result.stats, cache_hit=True))
 
 
 class TransitService:
@@ -99,6 +120,10 @@ class TransitService:
             station_graph=prepared.station_graph,
         )
         self._batch_engine: BatchQueryEngine | None = None
+        # Guards the lazy batch-engine construction: concurrent first
+        # batches (server worker threads) must share one engine, not
+        # race two setups.
+        self._batch_lock = Lock()
         # Per-service LRU over answers; requests are frozen dataclasses
         # and the service is immutable, so entries never go stale.  A
         # delayed service (apply_delays) is a new instance and thus
@@ -212,7 +237,7 @@ class TransitService:
         )
         cached = self._result_cache.get(req)
         if cached is not None:
-            return cached
+            return _mark_cache_hit(cached)
         cfg = self.config
         prepared = self.prepared
         num_threads = (
@@ -261,11 +286,44 @@ class TransitService:
             req = JourneyRequest(request, target, departure)
         cached = self._result_cache.get(req)
         if cached is not None:
-            return cached
+            return _mark_cache_hit(cached)
         res = self._engine.query(req.source, req.target)
         result = self._wrap_journey(req, res)
         self._result_cache.put(req, result)
         return result
+
+    def journey_many(
+        self, requests: Sequence[JourneyRequest]
+    ) -> list[JourneyResult]:
+        """Answer many journey requests with per-request caching.
+
+        The serving layer's micro-batched dispatch path
+        (:mod:`repro.server.executor`): every request consults the
+        result cache exactly like :meth:`journey` (hits come back
+        marked ``cache_hit``), the misses run as one
+        :class:`BatchQueryEngine` pass, and each fresh answer is
+        cached under its own :class:`JourneyRequest` key — so grouping
+        never disables the cache that repeated single journeys rely
+        on.  Answers are identical to calling :meth:`journey` once per
+        request, in order.
+        """
+        results: list[JourneyResult | None] = [None] * len(requests)
+        misses: list[tuple[int, JourneyRequest]] = []
+        for i, req in enumerate(requests):
+            cached = self._result_cache.get(req)
+            if cached is not None:
+                results[i] = _mark_cache_hit(cached)
+            else:
+                misses.append((i, req))
+        if misses:
+            raw = self._batch().query_many(
+                [(req.source, req.target) for _, req in misses]
+            )
+            for (i, req), res in zip(misses, raw):
+                result = self._wrap_journey(req, res)
+                self._result_cache.put(req, result)
+                results[i] = result
+        return results
 
     # -- batched workloads ---------------------------------------------
 
@@ -278,7 +336,7 @@ class TransitService:
             request = BatchRequest.from_pairs(request)
         cached = self._result_cache.get(request)
         if cached is not None:
-            return cached
+            return _mark_cache_hit(cached)
         engine = self._batch()
         journeys: list[JourneyResult] = []
         profiles: list[ProfileResult] = []
@@ -359,25 +417,29 @@ class TransitService:
     # -- internals ------------------------------------------------------
 
     def _batch(self) -> BatchQueryEngine:
-        if self._batch_engine is None:
-            cfg = self.config
-            prepared = self.prepared
-            self._batch_engine = BatchQueryEngine(
-                prepared.graph,
-                prepared.table,
-                kernel=cfg.kernel,
-                backend=cfg.backend,
-                workers=cfg.workers,
-                num_threads=cfg.num_threads,
-                strategy=cfg.strategy,
-                stopping=cfg.stopping,
-                table_pruning=cfg.table_pruning,
-                target_pruning=cfg.target_pruning,
-                queue=cfg.queue,
-                arrays=prepared.arrays,
-                station_graph=prepared.station_graph,
-            )
-        return self._batch_engine
+        engine = self._batch_engine
+        if engine is None:
+            with self._batch_lock:
+                if self._batch_engine is None:
+                    cfg = self.config
+                    prepared = self.prepared
+                    self._batch_engine = BatchQueryEngine(
+                        prepared.graph,
+                        prepared.table,
+                        kernel=cfg.kernel,
+                        backend=cfg.backend,
+                        workers=cfg.workers,
+                        num_threads=cfg.num_threads,
+                        strategy=cfg.strategy,
+                        stopping=cfg.stopping,
+                        table_pruning=cfg.table_pruning,
+                        target_pruning=cfg.target_pruning,
+                        queue=cfg.queue,
+                        arrays=prepared.arrays,
+                        station_graph=prepared.station_graph,
+                    )
+                engine = self._batch_engine
+        return engine
 
     def _wrap_journey(
         self, req: JourneyRequest, res: StationToStationResult

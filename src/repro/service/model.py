@@ -102,7 +102,12 @@ class QueryStats:
     (slowest thread + merge); ``total_seconds`` the real wall clock of
     the call.  ``classification`` is set for journeys only (trivial /
     table / local / global); the pruning counters are non-zero only
-    when a distance table participated.
+    when a distance table participated.  ``cache_hit`` is ``True`` when
+    the answer was served from the service's
+    :class:`~repro.service.cache.LRUResultCache` instead of a search
+    (the timing fields then describe the *original* computation, not
+    the hit) — server metrics and callers distinguish cached answers
+    through it.
     """
 
     kind: str  # "profile" | "journey"
@@ -114,6 +119,7 @@ class QueryStats:
     classification: str | None = None
     table_prunes: int = 0
     connection_stops: int = 0
+    cache_hit: bool = False
 
 
 @dataclass(frozen=True, slots=True)

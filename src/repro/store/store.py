@@ -37,6 +37,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 import time
 from pathlib import Path
 
@@ -144,14 +145,17 @@ def save_dataset(
 
     The directory is created (parents included) and overwritten
     artifact by artifact; any existing manifest is removed *first* and
-    the new one is written *last*, so a save that crashes midway —
-    fresh or over an older store — leaves a directory that fails to
-    load instead of one that masquerades as a complete (possibly
-    mixed-generation) store.  Returns the store path.
+    the new one is written *last* (atomically, sidecar + rename), so a
+    save that crashes — or is signalled — midway, fresh or over an
+    older store, leaves a directory that fails to load instead of one
+    that masquerades as a complete (possibly mixed-generation) store
+    (``tests/store/test_store_roundtrip.py`` pins both the crash and
+    the SIGTERM path).  Returns the store path.
     """
     root = Path(path)
     root.mkdir(parents=True, exist_ok=True)
     (root / "manifest.json").unlink(missing_ok=True)
+    (root / "manifest.json.tmp").unlink(missing_ok=True)
     timetable = prepared.timetable
     if config is None:
         config = prepared.config
@@ -203,7 +207,13 @@ def save_dataset(
         },
         "artifacts": {"table": table is not None},
     }
-    (root / "manifest.json").write_text(json.dumps(manifest, indent=2) + "\n")
+    # Written to a sidecar and renamed into place: a crash or signal at
+    # any instant leaves either no manifest (store refuses to load) or
+    # a complete one — never a truncated manifest that parses as
+    # corruption instead of absence.
+    tmp = root / "manifest.json.tmp"
+    tmp.write_text(json.dumps(manifest, indent=2) + "\n")
+    os.replace(tmp, root / "manifest.json")
     return root
 
 

@@ -1,0 +1,39 @@
+"""Server-test fixtures over the shared :class:`ServerHarness`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server import DatasetRegistry
+from repro.service import ServiceConfig, TransitService
+
+from tests.server.harness import ServerHarness
+
+#: One prepared-service recipe for every server test: flat kernel with
+#: a distance table, so HTTP answers exercise the pruned query paths.
+SERVER_CONFIG = ServiceConfig(
+    num_threads=2,
+    use_distance_table=True,
+    transfer_fraction=0.25,
+)
+
+
+@pytest.fixture()
+def make_service(oahu_tiny):
+    """Fresh, identically-configured services: the direct-call twin of
+    whatever the server serves (equal config + timetable ⇒ bitwise-
+    identical answers, pinned by the facade suite)."""
+
+    def _make(config: ServiceConfig = SERVER_CONFIG) -> TransitService:
+        return TransitService(oahu_tiny, config)
+
+    return _make
+
+
+@pytest.fixture()
+def harness(make_service):
+    """A running server over one dataset named ``oahu``."""
+    registry = DatasetRegistry.from_services({"oahu": make_service()})
+    h = ServerHarness(registry)
+    yield h
+    h.close()

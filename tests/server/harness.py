@@ -1,0 +1,65 @@
+"""A real :class:`TransitServer` on a background event-loop thread,
+driven over actual TCP by synchronous stdlib HTTP clients.  Shared by
+the server test suite (via ``tests/server/conftest.py``) and
+``benchmarks/bench_server_throughput.py``."""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+
+from repro.server import DatasetRegistry, TransitServer
+
+
+class ServerHarness:
+    """Run one server on its own event loop; synchronous test access."""
+
+    def __init__(self, registry: DatasetRegistry, **server_kwargs) -> None:
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self.loop.run_forever, name="server-loop", daemon=True
+        )
+        self._thread.start()
+        self.server = TransitServer(registry, port=0, **server_kwargs)
+        asyncio.run_coroutine_threadsafe(
+            self.server.start(), self.loop
+        ).result(timeout=10)
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: dict | str | None = None,
+        *,
+        timeout: float = 30.0,
+    ) -> tuple[int, dict]:
+        """One HTTP request on a fresh connection; JSON-decoded reply."""
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", self.port, timeout=timeout
+        )
+        try:
+            data = (
+                body
+                if body is None or isinstance(body, str)
+                else json.dumps(body)
+            )
+            conn.request(method, path, body=data)
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            return response.status, payload
+        finally:
+            conn.close()
+
+    def close(self) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(), self.loop
+        ).result(timeout=30)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=10)
+        self.loop.close()

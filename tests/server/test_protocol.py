@@ -1,0 +1,252 @@
+"""Unit tests of the wire schema: strict validation in, deterministic
+encoding out — no server, no sockets."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_journey,
+    encode_profile,
+    parse_batch_request,
+    parse_delay_request,
+    parse_journey_request,
+    parse_profile_request,
+)
+from repro.service import (
+    JourneyRequest,
+    ProfileRequest,
+    ServiceConfig,
+    TransitService,
+)
+from repro.timetable.delays import Delay
+
+N = 10  # stations in scope for parsing tests
+TRAINS = 5
+
+
+def err(fn, *args, **kwargs) -> ProtocolError:
+    with pytest.raises(ProtocolError) as excinfo:
+        fn(*args, **kwargs)
+    return excinfo.value
+
+
+class TestParseProfile:
+    def test_minimal(self):
+        request, targets = parse_profile_request({"source": 3}, N)
+        assert request == ProfileRequest(3)
+        assert targets is None
+
+    def test_full(self):
+        request, targets = parse_profile_request(
+            {"v": 1, "source": 3, "num_threads": 2, "targets": [0, 9]}, N
+        )
+        assert request == ProfileRequest(3, num_threads=2)
+        assert targets == (0, 9)
+
+    def test_rejections(self):
+        assert err(parse_profile_request, [], N).code == "invalid_request"
+        assert err(parse_profile_request, {}, N).code == "missing_field"
+        assert (
+            err(parse_profile_request, {"source": "0"}, N).code
+            == "invalid_type"
+        )
+        assert (
+            err(parse_profile_request, {"source": True}, N).code
+            == "invalid_type"
+        )
+        assert (
+            err(parse_profile_request, {"source": N}, N).code
+            == "out_of_range"
+        )
+        assert (
+            err(parse_profile_request, {"source": -1}, N).code
+            == "out_of_range"
+        )
+        assert (
+            err(parse_profile_request, {"source": 0, "threads": 2}, N).code
+            == "unknown_field"
+        )
+        assert (
+            err(parse_profile_request, {"source": 0, "num_threads": 0}, N).code
+            == "out_of_range"
+        )
+        assert (
+            err(parse_profile_request, {"source": 0, "targets": []}, N).code
+            == "invalid_type"
+        )
+        assert (
+            err(parse_profile_request, {"source": 0, "targets": [N]}, N).code
+            == "out_of_range"
+        )
+
+    def test_num_threads_is_capped(self):
+        """An unauthenticated request must not size allocations: the
+        wire cap bounds per-query cores in both places they appear."""
+        from repro.server.protocol import MAX_NUM_THREADS
+
+        parse_profile_request({"source": 0, "num_threads": MAX_NUM_THREADS}, N)
+        assert (
+            err(
+                parse_profile_request,
+                {"source": 0, "num_threads": MAX_NUM_THREADS + 1},
+                N,
+            ).code
+            == "out_of_range"
+        )
+        assert (
+            err(
+                parse_batch_request,
+                {"profiles": [{"source": 0, "num_threads": 10**9}]},
+                N,
+            ).code
+            == "out_of_range"
+        )
+
+    def test_version_gate(self):
+        exc = err(parse_profile_request, {"v": 2, "source": 0}, N)
+        assert exc.code == "unsupported_version"
+        assert exc.status == 400
+        # Omitted version means the current one.
+        parse_profile_request({"source": 0}, N)
+
+
+class TestParseJourney:
+    def test_roundtrip(self):
+        request = parse_journey_request(
+            {"source": 1, "target": 8, "departure": 480}, N
+        )
+        assert request == JourneyRequest(1, 8, 480)
+        assert parse_journey_request({"source": 1, "target": 8}, N) == (
+            JourneyRequest(1, 8, None)
+        )
+
+    def test_rejections(self):
+        assert (
+            err(parse_journey_request, {"source": 1}, N).code
+            == "missing_field"
+        )
+        assert (
+            err(
+                parse_journey_request,
+                {"source": 1, "target": 2, "departure": -1},
+                N,
+            ).code
+            == "out_of_range"
+        )
+
+
+class TestParseBatch:
+    def test_mixed(self):
+        request = parse_batch_request(
+            {
+                "journeys": [
+                    {"source": 0, "target": 5},
+                    {"source": 1, "target": 6, "departure": 60},
+                ],
+                "profiles": [{"source": 2, "num_threads": 2}],
+            },
+            N,
+        )
+        assert request.journeys == (
+            JourneyRequest(0, 5),
+            JourneyRequest(1, 6, 60),
+        )
+        assert request.profiles == (ProfileRequest(2, num_threads=2),)
+
+    def test_rejections(self):
+        assert err(parse_batch_request, {}, N).code == "invalid_request"
+        assert (
+            err(parse_batch_request, {"journeys": "x"}, N).code
+            == "invalid_type"
+        )
+        exc = err(
+            parse_batch_request,
+            {"journeys": [{"source": 0, "target": 1, "x": 2}]},
+            N,
+        )
+        assert exc.code == "unknown_field"
+        assert "journeys[0]" in exc.message
+
+
+class TestParseDelays:
+    def test_roundtrip(self):
+        delays, slack = parse_delay_request(
+            {
+                "delays": [
+                    {"train": 0, "minutes": 10},
+                    {"train": 4, "minutes": 5, "from_stop": 1},
+                ],
+                "slack_per_leg": 2,
+            },
+            TRAINS,
+        )
+        assert delays == [
+            Delay(train=0, minutes=10),
+            Delay(train=4, minutes=5, from_stop=1),
+        ]
+        assert slack == 2
+
+    def test_rejections(self):
+        assert (
+            err(parse_delay_request, {"delays": []}, TRAINS).code
+            == "invalid_request"
+        )
+        assert (
+            err(
+                parse_delay_request,
+                {"delays": [{"train": TRAINS, "minutes": 1}]},
+                TRAINS,
+            ).code
+            == "out_of_range"
+        )
+        assert (
+            err(
+                parse_delay_request,
+                {"delays": [{"train": 0}]},
+                TRAINS,
+            ).code
+            == "missing_field"
+        )
+
+
+class TestErrorPayload:
+    def test_shape_and_status(self):
+        exc = ProtocolError("boom", "it broke", field="x", status=418)
+        assert exc.status == 418
+        assert exc.payload() == {
+            "v": PROTOCOL_VERSION,
+            "error": {"code": "boom", "message": "it broke", "field": "x"},
+        }
+
+
+class TestEncoding:
+    @pytest.fixture(scope="class")
+    def service(self, oahu_tiny):
+        return TransitService(oahu_tiny, ServiceConfig(num_threads=2))
+
+    def test_journey_payload_is_json_safe_and_faithful(self, service):
+        result = service.journey(0, 5, departure=480)
+        payload = json.loads(json.dumps(encode_journey(result)))
+        assert payload["v"] == PROTOCOL_VERSION
+        assert payload["source"] == 0 and payload["target"] == 5
+        assert payload["arrival"] == result.arrival
+        assert payload["profile"] == [
+            [int(dep), int(dur)]
+            for dep, dur in result.profile.connection_points()
+        ]
+        assert len(payload["legs"]) == len(result.legs)
+        assert payload["stats"]["cache_hit"] is False
+
+    def test_profile_payload_respects_targets(self, service):
+        result = service.profile(0)
+        full = encode_profile(result, num_stations=12)
+        assert str(0) not in full["profiles"]  # source is omitted
+        assert len(full["profiles"]) == 11
+        part = encode_profile(result, num_stations=12, targets=(5,))
+        assert list(part["profiles"]) == ["5"]
+        assert part["profiles"]["5"] == full["profiles"]["5"]

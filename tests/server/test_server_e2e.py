@@ -1,0 +1,465 @@
+"""End-to-end server tests over real TCP.
+
+The acceptance bars of the serving subsystem:
+
+* **Parity** — every query shape answered over HTTP is bitwise-
+  identical to a direct :class:`TransitService` call (timings aside:
+  wall-clock fields are scrubbed before comparison, everything else —
+  profiles, arrivals, legs, counters — must match exactly).
+* **Hot swap** — a delay swap posted under concurrent traffic
+  completes with zero failed in-flight requests, and post-swap answers
+  match a cold service built on the delayed timetable.
+* **Micro-batching** — concurrent journeys group into shared
+  :meth:`TransitService.batch` passes (visible in ``/metrics``)
+  without changing any answer.
+* **Overload** — past ``max_inflight`` the server answers a fast 503
+  instead of queueing; **drain** — shutdown finishes in-flight work.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.server import DatasetRegistry
+from repro.server.protocol import (
+    encode_batch,
+    encode_journey,
+    encode_profile,
+)
+from repro.service import BatchRequest, JourneyRequest, ProfileRequest
+from repro.timetable.delays import Delay
+
+from tests.server.harness import ServerHarness
+
+
+def scrubbed(payload):
+    """Drop wall-clock noise; keep every deterministic field."""
+    if isinstance(payload, dict):
+        return {
+            key: (0.0 if key.endswith("_seconds") else scrubbed(value))
+            for key, value in payload.items()
+        }
+    if isinstance(payload, list):
+        return [scrubbed(item) for item in payload]
+    return payload
+
+
+NUM_STATIONS = 12  # oahu tiny
+
+
+class TestParity:
+    def test_journey_matches_direct_call(self, harness, make_service):
+        direct = make_service()
+        for source, target, departure in ((0, 5, None), (2, 9, 480)):
+            body = {"source": source, "target": target}
+            if departure is not None:
+                body["departure"] = departure
+            status, payload = harness.request(
+                "POST", "/v1/oahu/journey", body
+            )
+            assert status == 200
+            expected = encode_journey(
+                direct.journey(JourneyRequest(source, target, departure))
+            )
+            assert scrubbed(payload) == scrubbed(expected)
+
+    def test_profile_matches_direct_call(self, harness, make_service):
+        direct = make_service()
+        status, payload = harness.request(
+            "POST", "/v1/oahu/profile", {"source": 3}
+        )
+        assert status == 200
+        expected = encode_profile(
+            direct.profile(ProfileRequest(3)), num_stations=NUM_STATIONS
+        )
+        assert scrubbed(payload) == scrubbed(expected)
+        # The targets restriction trims the wire payload, not the search.
+        status, restricted = harness.request(
+            "POST", "/v1/oahu/profile", {"source": 3, "targets": [0, 7]}
+        )
+        assert status == 200
+        assert set(restricted["profiles"]) == {"0", "7"}
+        assert restricted["profiles"]["7"] == payload["profiles"]["7"]
+
+    def test_batch_matches_direct_call(self, harness, make_service):
+        direct = make_service()
+        body = {
+            "journeys": [
+                {"source": 0, "target": 5},
+                {"source": 1, "target": 6, "departure": 540},
+            ],
+            "profiles": [{"source": 2}],
+        }
+        status, payload = harness.request("POST", "/v1/oahu/batch", body)
+        assert status == 200
+        expected = encode_batch(
+            direct.batch(
+                BatchRequest(
+                    journeys=(
+                        JourneyRequest(0, 5),
+                        JourneyRequest(1, 6, 540),
+                    ),
+                    profiles=(ProfileRequest(2),),
+                )
+            ),
+            num_stations=NUM_STATIONS,
+        )
+        assert scrubbed(payload) == scrubbed(expected)
+
+    def test_repeated_request_is_served_from_cache(self, harness):
+        first = harness.request("POST", "/v1/oahu/profile", {"source": 4})[1]
+        second = harness.request("POST", "/v1/oahu/profile", {"source": 4})[1]
+        assert not first["stats"]["cache_hit"]
+        assert second["stats"]["cache_hit"]
+        assert second["profiles"] == first["profiles"]
+        metrics = harness.request("GET", "/metrics")[1]
+        assert metrics["datasets"]["oahu"]["result_cache"]["hits"] >= 1
+
+
+class TestMicroBatching:
+    def test_concurrent_journeys_group_without_changing_answers(
+        self, make_service
+    ):
+        registry = DatasetRegistry.from_services({"oahu": make_service()})
+        harness = ServerHarness(
+            registry, batch_window=0.25, batch_max=6, max_inflight=32
+        )
+        try:
+            direct = make_service()
+            pairs = [(s, s + 6) for s in range(6)]
+            results: dict[int, tuple[int, dict]] = {}
+            barrier = threading.Barrier(len(pairs))
+
+            def client(i: int, source: int, target: int) -> None:
+                barrier.wait()
+                results[i] = harness.request(
+                    "POST",
+                    "/v1/oahu/journey",
+                    {"source": source, "target": target},
+                )
+
+            threads = [
+                threading.Thread(target=client, args=(i, s, t))
+                for i, (s, t) in enumerate(pairs)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert len(results) == len(pairs)
+            for i, (source, target) in enumerate(pairs):
+                status, payload = results[i]
+                assert status == 200
+                expected = encode_journey(direct.journey(source, target))
+                assert scrubbed(payload) == scrubbed(expected)
+
+            micro = harness.request("GET", "/metrics")[1]["micro_batching"]
+            assert micro["batched_queries_total"] == len(pairs)
+            # Grouping must actually have happened: fewer flushes than
+            # requests, and at least one multi-request group.
+            assert micro["batches_total"] < len(pairs)
+            assert micro["max_batch_size"] >= 2
+
+            # Grouped execution must not have bypassed the per-journey
+            # result cache: repeating one of the grouped requests is a
+            # hit.
+            source, target = pairs[0]
+            repeat = harness.request(
+                "POST",
+                "/v1/oahu/journey",
+                {"source": source, "target": target},
+            )[1]
+            assert repeat["stats"]["cache_hit"]
+        finally:
+            harness.close()
+
+
+class TestHotSwap:
+    DELAYS = {"delays": [{"train": 0, "minutes": 45}], "slack_per_leg": 0}
+
+    def test_swap_under_traffic_fails_no_inflight_request(
+        self, make_service
+    ):
+        registry = DatasetRegistry.from_services({"oahu": make_service()})
+        harness = ServerHarness(registry, max_inflight=64)
+        try:
+            stop = threading.Event()
+            statuses: list[int] = []
+            lock = threading.Lock()
+
+            def hammer() -> None:
+                while not stop.is_set():
+                    status, _ = harness.request(
+                        "POST",
+                        "/v1/oahu/journey",
+                        {"source": 0, "target": 5},
+                    )
+                    with lock:
+                        statuses.append(status)
+
+            threads = [
+                threading.Thread(target=hammer) for _ in range(4)
+            ]
+            for t in threads:
+                t.start()
+            time.sleep(0.05)
+            swap_status, swap = harness.request(
+                "POST", "/v1/datasets/oahu/delays", self.DELAYS
+            )
+            time.sleep(0.05)
+            stop.set()
+            for t in threads:
+                t.join(timeout=60)
+
+            assert swap_status == 200
+            assert swap["generation"] == 1
+            assert statuses, "no traffic ran during the swap"
+            assert set(statuses) == {200}, (
+                f"in-flight requests failed during hot swap: "
+                f"{[s for s in statuses if s != 200]}"
+            )
+        finally:
+            harness.close()
+
+    def test_post_swap_answers_match_cold_delayed_service(
+        self, harness, make_service
+    ):
+        # 2 → 5 rides train 0's route: the 45-minute delay must move
+        # this profile (verified against a cold delayed service below).
+        before = harness.request(
+            "POST", "/v1/oahu/journey", {"source": 2, "target": 5}
+        )[1]
+        status, swap = harness.request(
+            "POST", "/v1/datasets/oahu/delays", self.DELAYS
+        )
+        assert status == 200 and swap["generation"] == 1
+        after = harness.request(
+            "POST", "/v1/oahu/journey", {"source": 2, "target": 5}
+        )[1]
+        cold = make_service().apply_delays(
+            [Delay(train=0, minutes=45)]
+        )
+        expected = encode_journey(cold.journey(2, 5))
+        assert scrubbed(after) == scrubbed(expected)
+        assert after["profile"] != before["profile"], (
+            "delaying train 0 by 45 minutes must change the 2→5 profile"
+        )
+        # /v1/datasets and /metrics reflect the swap.
+        listed = harness.request("GET", "/v1/datasets")[1]["datasets"]
+        assert listed[0]["generation"] == 1
+        metrics = harness.request("GET", "/metrics")[1]
+        assert metrics["swaps_total"] == {"oahu": 1}
+
+    def test_swap_validation_errors_are_client_errors(self, harness):
+        status, payload = harness.request(
+            "POST",
+            "/v1/datasets/oahu/delays",
+            {"delays": [{"train": 0, "minutes": 10, "from_stop": 9999}]},
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_request"
+        status, payload = harness.request(
+            "POST",
+            "/v1/datasets/oahu/delays",
+            {"delays": [{"train": 10**6, "minutes": 10}]},
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "out_of_range"
+        # Neither attempt swapped anything.
+        listed = harness.request("GET", "/v1/datasets")[1]["datasets"]
+        assert listed[0]["generation"] == 0
+
+
+class TestOverloadAndDrain:
+    def test_overload_gets_fast_503(self, make_service):
+        registry = DatasetRegistry.from_services({"oahu": make_service()})
+        # One admission slot, and a collection window long enough that
+        # the first journey is guaranteed still in flight when the
+        # second arrives.
+        harness = ServerHarness(
+            registry, max_inflight=1, batch_window=0.5, batch_max=64
+        )
+        try:
+            first: list[tuple[int, dict]] = []
+
+            def slow_request() -> None:
+                first.append(
+                    harness.request(
+                        "POST",
+                        "/v1/oahu/journey",
+                        {"source": 0, "target": 5},
+                    )
+                )
+
+            t = threading.Thread(target=slow_request)
+            t.start()
+            time.sleep(0.1)  # let it be admitted and parked in the window
+            t0 = time.perf_counter()
+            status, payload = harness.request(
+                "POST", "/v1/oahu/journey", {"source": 1, "target": 6}
+            )
+            rejected_in = time.perf_counter() - t0
+            t.join(timeout=60)
+
+            assert status == 503
+            assert payload["error"]["code"] == "overloaded"
+            assert payload["error"]["retriable"] is True
+            assert rejected_in < 0.4, (
+                f"503 took {rejected_in * 1000:.0f} ms — overload "
+                f"rejection must not wait for the batch window"
+            )
+            assert first and first[0][0] == 200, (
+                "the admitted request must still complete"
+            )
+            metrics = harness.request("GET", "/metrics")[1]
+            assert metrics["rejected_total"] >= 1
+        finally:
+            harness.close()
+
+    def test_shutdown_drains_inflight_requests(self, make_service):
+        registry = DatasetRegistry.from_services({"oahu": make_service()})
+        harness = ServerHarness(registry, batch_window=0.3, batch_max=64)
+        outcome: list[tuple[int, dict]] = []
+
+        def inflight() -> None:
+            outcome.append(
+                harness.request(
+                    "POST", "/v1/oahu/journey", {"source": 0, "target": 5}
+                )
+            )
+
+        t = threading.Thread(target=inflight)
+        t.start()
+        time.sleep(0.1)  # admitted, parked in the batch window
+        harness.close()  # graceful drain must flush and answer it
+        t.join(timeout=60)
+        assert outcome and outcome[0][0] == 200
+
+    def test_draining_server_rejects_new_queries(self, make_service):
+        registry = DatasetRegistry.from_services({"oahu": make_service()})
+        harness = ServerHarness(registry)
+        harness.server._draining = True
+        try:
+            status, payload = harness.request(
+                "POST", "/v1/oahu/journey", {"source": 0, "target": 5}
+            )
+            assert status == 503
+            assert payload["error"]["code"] == "draining"
+            # Delay swaps obey the same gate: no new replans mid-drain.
+            status, payload = harness.request(
+                "POST",
+                "/v1/datasets/oahu/delays",
+                {"delays": [{"train": 0, "minutes": 5}]},
+            )
+            assert status == 503
+            assert payload["error"]["code"] == "draining"
+            health = harness.request("GET", "/healthz")
+            assert health[0] == 200 and health[1]["status"] == "draining"
+        finally:
+            harness.server._draining = False
+            harness.close()
+
+    def test_shutdown_is_not_stalled_by_idle_keepalive_connections(
+        self, make_service
+    ):
+        """An idle keep-alive client parks its handler in a read that
+        would never return; shutdown must close it and complete anyway
+        (harness.close() enforces a 30 s deadline)."""
+        import http.client
+
+        registry = DatasetRegistry.from_services({"oahu": make_service()})
+        harness = ServerHarness(registry)
+        conn = http.client.HTTPConnection("127.0.0.1", harness.port)
+        try:
+            conn.request(
+                "POST",
+                "/v1/oahu/journey",
+                body='{"source": 0, "target": 5}',
+            )
+            response = conn.getresponse()
+            assert response.status == 200
+            response.read()
+            # The connection is now idle (keep-alive, no new request).
+            t0 = time.perf_counter()
+            harness.close()
+            assert time.perf_counter() - t0 < 10.0
+        finally:
+            conn.close()
+
+    def test_oversized_body_gets_413(self, make_service):
+        registry = DatasetRegistry.from_services({"oahu": make_service()})
+        harness = ServerHarness(registry)
+        try:
+            import http.client
+
+            from repro.server import MAX_BODY_BYTES
+
+            conn = http.client.HTTPConnection("127.0.0.1", harness.port)
+            # Declare an over-cap body; the server must answer 413
+            # without reading it off the socket.
+            conn.putrequest("POST", "/v1/oahu/journey")
+            conn.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+            conn.endheaders()
+            conn.send(b"x" * 1024)  # a taste, not the whole body
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            conn.close()
+            assert response.status == 413
+            assert payload["error"]["code"] == "payload_too_large"
+        finally:
+            harness.close()
+
+
+class TestHttpErrors:
+    def test_malformed_json_is_400(self, harness):
+        status, payload = harness.request(
+            "POST", "/v1/oahu/journey", "{not json"
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_json"
+
+    def test_unknown_dataset_is_404(self, harness):
+        status, payload = harness.request(
+            "POST", "/v1/nowhere/journey", {"source": 0, "target": 1}
+        )
+        assert status == 404
+        assert payload["error"]["code"] == "unknown_dataset"
+        assert "oahu" in payload["error"]["message"]
+
+    def test_unknown_route_is_404(self, harness):
+        status, payload = harness.request("GET", "/v2/oahu/journey")
+        assert status == 404
+        assert payload["error"]["code"] == "unknown_route"
+
+    def test_wrong_method_is_405(self, harness):
+        status, payload = harness.request("POST", "/healthz", {})
+        assert status == 405
+        assert payload["error"]["code"] == "method_not_allowed"
+
+    def test_wrong_protocol_version_is_rejected(self, harness):
+        status, payload = harness.request(
+            "POST", "/v1/oahu/journey", {"v": 99, "source": 0, "target": 1}
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "unsupported_version"
+
+    def test_listing_and_health(self, harness):
+        status, health = harness.request("GET", "/healthz")
+        assert status == 200
+        assert health == {"v": 1, "status": "ok", "datasets": ["oahu"]}
+        listed = harness.request("GET", "/v1/datasets")[1]["datasets"]
+        assert listed[0]["name"] == "oahu"
+        assert listed[0]["stations"] == NUM_STATIONS
+        assert listed[0]["has_distance_table"] is True
+
+    def test_metrics_counts_traffic(self, harness):
+        harness.request("POST", "/v1/oahu/journey", {"source": 0, "target": 5})
+        metrics = harness.request("GET", "/metrics")[1]
+        label = "POST /v1/{name}/journey"
+        assert metrics["requests_total"][label] == 1
+        assert metrics["responses_total"][label]["200"] == 1
+        assert metrics["latency"][label]["count"] == 1

@@ -57,21 +57,69 @@ class TestLRUResultCache:
 
 class TestServiceResultCache:
     def test_repeated_requests_hit_every_shape(self, oahu_tiny):
+        """A hit shares the heavy payload with the stored entry (no
+        recomputation) and is marked ``cache_hit=True``; the stored
+        entry itself stays unmarked."""
         service = TransitService(oahu_tiny, ServiceConfig(num_threads=2))
         assert service.cache_stats.maxsize == 128
 
         p1, p2 = service.profile(0), service.profile(0)
-        assert p2 is p1
+        assert p2.raw is p1.raw
+        assert p2.stats.cache_hit and not p1.stats.cache_hit
         j1 = service.journey(0, 5)
         j2 = service.journey(JourneyRequest(0, 5))
-        assert j2 is j1
+        assert j2.profile is j1.profile
+        assert j2.stats.cache_hit and not j1.stats.cache_hit
         b1 = service.batch([(0, 5), (1, 6)])
         b2 = service.batch(BatchRequest.from_pairs([(0, 5), (1, 6)]))
-        assert b2 is b1
+        assert b2.stats is b1.stats
+        assert [h.profile for h in b2.journeys] == [
+            j.profile for j in b1.journeys
+        ]
+        assert all(h.stats.cache_hit for h in b2.journeys)
+        assert not any(j.stats.cache_hit for j in b1.journeys)
 
         stats = service.cache_stats
         assert stats.hits == 3
         assert stats.misses == 3
+
+    def test_journey_many_shares_the_per_request_cache(self, oahu_tiny):
+        """The micro-batched serving path: grouped journeys consult and
+        populate the same per-request entries single journeys use, and
+        answers match one-at-a-time execution exactly."""
+        service = TransitService(oahu_tiny, ServiceConfig(num_threads=2))
+        single = service.journey(0, 5)
+
+        group = service.journey_many(
+            [JourneyRequest(0, 5), JourneyRequest(1, 6, 480)]
+        )
+        # (0, 5) was cached by the single call; (1, 6) is fresh.
+        assert group[0].stats.cache_hit
+        assert group[0].profile is single.profile
+        assert not group[1].stats.cache_hit
+
+        # The fresh answer was cached under its own key...
+        again = service.journey(JourneyRequest(1, 6, 480))
+        assert again.stats.cache_hit
+        assert again.profile is group[1].profile
+        # ...and matches one-at-a-time execution bitwise.
+        direct = TransitService(
+            oahu_tiny, ServiceConfig(num_threads=2)
+        ).journey(1, 6, departure=480)
+        assert np.array_equal(group[1].profile.deps, direct.profile.deps)
+        assert np.array_equal(group[1].profile.arrs, direct.profile.arrs)
+        assert group[1].arrival == direct.arrival
+        assert group[1].legs == direct.legs
+
+    def test_hits_never_mutate_the_stored_entry(self, oahu_tiny):
+        service = TransitService(oahu_tiny, ServiceConfig(num_threads=2))
+        service.journey(0, 5)
+        service.journey(0, 5)
+        third = service.journey(0, 5)
+        # Were the stored entry marked in place, its timings/flags
+        # would drift; every hit must look the same.
+        assert third.stats.cache_hit
+        assert service.cache_stats.hits == 2
 
     def test_distinct_requests_miss(self, oahu_tiny):
         service = TransitService(oahu_tiny, ServiceConfig(num_threads=2))

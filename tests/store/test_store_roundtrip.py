@@ -387,6 +387,69 @@ def test_crashed_resave_never_masquerades_as_complete(
         TransitService.load(small_store)
 
 
+def test_sigterm_mid_save_leaves_no_partial_manifest(tmp_path):
+    """The signal path of the crash-safety contract: SIGTERM landing
+    mid-save (here: right before dataset.bin is written) must unwind
+    the CLI cleanly — exit 130, an 'interrupted' notice, and a store
+    directory with *no* manifest, which therefore refuses to load."""
+    import os
+    import subprocess
+    import sys
+    import textwrap
+    from pathlib import Path
+
+    store = tmp_path / "store"
+    script = textwrap.dedent(
+        """
+        import os, signal, sys
+        import repro.store.store as store_mod
+
+        real = store_mod.write_record
+
+        def signal_then_write(*args, **kwargs):
+            os.kill(os.getpid(), signal.SIGTERM)
+            # The CLI's handler raises at the next bytecode boundary,
+            # i.e. inside the save, exactly mid-way through the store.
+            return real(*args, **kwargs)
+
+        store_mod.write_record = signal_then_write
+        from repro.cli import main
+
+        sys.exit(
+            main(
+                [
+                    "prepare", "--instance", "oahu", "--scale", "tiny",
+                    "--store", sys.argv[1],
+                ]
+            )
+        )
+        """
+    )
+    src = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        f"{src}{os.pathsep}{env['PYTHONPATH']}"
+        if env.get("PYTHONPATH")
+        else str(src)
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", script, str(store)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert proc.returncode == 130, proc.stderr
+    assert "interrupted" in proc.stderr
+    # The save got underway (artifacts exist) but never reached the
+    # manifest — and without one, the store refuses to load.
+    assert store.exists()
+    assert not (store / "manifest.json").exists()
+    assert not (store / "manifest.json.tmp").exists()
+    with pytest.raises(StoreError, match="manifest"):
+        load_dataset(store)
+
+
 # ---------------------------------------------------------------------------
 # Binary codec
 # ---------------------------------------------------------------------------

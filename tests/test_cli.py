@@ -287,3 +287,59 @@ class TestStoreCommands:
                 "--source", "0", "--target", "5",
             ])
         capsys.readouterr()
+
+    def test_info_from_store_reads_only_the_manifest(
+        self, store, capsys, monkeypatch
+    ):
+        """``info --from-store`` must describe the store without
+        hydrating anything: every buffer/record reader is poisoned and
+        the manifest summary must still print."""
+        import numpy as np
+
+        import repro.store.codec as codec_mod
+        import repro.store.store as store_mod
+
+        def forbid(name):
+            def _raise(*args, **kwargs):
+                raise AssertionError(f"info hydrated artifacts via {name}")
+
+            return _raise
+
+        monkeypatch.setattr(np, "load", forbid("np.load"))
+        monkeypatch.setattr(codec_mod, "read_record", forbid("read_record"))
+        monkeypatch.setattr(store_mod, "load_dataset", forbid("load_dataset"))
+
+        assert main(["info", "--from-store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "format v1" in out
+        assert "12 stations" in out
+        assert "transfer stations" in out
+        assert "kernel=flat" in out
+        assert "KiB" in out
+
+    def test_info_from_store_rejects_instance_flags(self, store, capsys):
+        with pytest.raises(SystemExit, match="--scale"):
+            main(["info", "--from-store", str(store), "--scale", "tiny"])
+        capsys.readouterr()
+
+    def test_info_from_missing_store_fails_loudly(self, tmp_path):
+        with pytest.raises(SystemExit, match="error:"):
+            main(["info", "--from-store", str(tmp_path / "nope")])
+
+
+class TestServeParser:
+    def test_serve_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "serve", "--store", "a", "--store", "b",
+            "--port", "0", "--workers", "2", "--max-inflight", "8",
+            "--batch-window-ms", "1.5", "--batch-max", "4",
+        ])
+        assert args.store == ["a", "b"]
+        assert args.port == 0
+        assert args.workers == 2
+        assert args.max_inflight == 8
+        assert args.batch_window_ms == 1.5
+        assert args.batch_max == 4
+        assert args.func.__name__ == "_cmd_serve"
