@@ -2,8 +2,11 @@
 
 A fleet of closed-loop clients (each waits for its answer before
 sending the next request) hammers one dataset's journey endpoint over
-real TCP with persistent connections.  The same workload runs against
-two servers that differ in exactly one knob:
+real TCP with persistent connections — each client is an
+:class:`repro.client.HttpBackend` with a single pooled keep-alive
+connection, i.e. the production SDK path, not a hand-rolled socket
+loop.  The same workload runs against two servers that differ in
+exactly one knob:
 
 * **naive** — ``batch_window=0``: every request is its own worker-pool
   job (one-query-per-request dispatch);
@@ -32,14 +35,13 @@ cache is disabled so both modes do identical work per request.
 
 from __future__ import annotations
 
-import http.client
-import json
 import statistics
 import threading
 import time
 
 from repro.analysis.formatting import format_table
-from repro.server import DatasetRegistry, ServerMetrics, TransitServer
+from repro.client import HttpBackend, RetryPolicy
+from repro.server import DatasetRegistry, ServerMetrics
 from repro.service import ServiceConfig, TransitService
 from repro.synthetic.instances import make_instance
 
@@ -75,22 +77,25 @@ def _drive(harness: ServerHarness, pairs, requests_per_client) -> dict:
     barrier = threading.Barrier(CLIENTS + 1)
 
     def client(cid: int) -> None:
-        conn = http.client.HTTPConnection(
-            "127.0.0.1", harness.port, timeout=60
+        # One backend per closed-loop client: a single persistent
+        # keep-alive connection, retries off so every latency sample
+        # is one exchange (max_inflight is sized to never 503 here).
+        backend = HttpBackend(
+            f"http://127.0.0.1:{harness.port}/bench",
+            timeout=60,
+            pool_size=1,
+            retry=RetryPolicy(retries=0),
         )
         try:
             barrier.wait()
             for i in range(requests_per_client):
                 source, target = pairs[(cid * requests_per_client + i) % len(pairs)]
-                body = json.dumps({"source": source, "target": target})
                 t0 = time.perf_counter()
-                conn.request("POST", "/v1/bench/journey", body=body)
-                response = conn.getresponse()
-                payload = response.read()
+                answer = backend.journey(source, target)
                 latencies[cid].append(time.perf_counter() - t0)
-                assert response.status == 200, payload
+                assert answer.source == source and answer.target == target
         finally:
-            conn.close()
+            backend.close()
 
     threads = [
         threading.Thread(target=client, args=(cid,)) for cid in range(CLIENTS)

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""One query API, two transports — the client SDK's parity guarantee.
+
+``commute_report`` below is an ordinary journey-planning program
+written against :class:`repro.client.TransitBackend`.  It runs twice:
+
+* over a :class:`LocalBackend` — the dataset lives in this process;
+* over an :class:`HttpBackend` — the *same* store served by a
+  :class:`TransitServer` on localhost, reached through the stdlib
+  HTTP client (keep-alive pool, typed errors, bounded 503 retry).
+
+The two reports are asserted **identical, line for line**: a program
+written against the backend protocol cannot tell transports apart
+except by latency.  That is what lets notebooks, load generators and
+production callers share one codebase while the dataset moves from a
+laptop directory to a remote fleet.
+
+Run:  python examples/client_backends.py
+"""
+
+import asyncio
+import tempfile
+import threading
+from pathlib import Path
+
+from repro import ServiceConfig, TransitService, make_instance
+from repro.client import TransitBackend, connect
+from repro.server import DatasetRegistry, TransitServer
+from repro.timetable.delays import Delay
+from repro.timetable.periodic import format_time
+
+
+def commute_report(backend: TransitBackend) -> list[str]:
+    """A small planning session: metadata, a morning journey, a
+    streamed batch, a delay scenario.  Transport-agnostic."""
+    lines: list[str] = []
+    info = backend.info()
+    lines.append(f"{info.name}: {info.stations} stations, "
+                 f"{info.connections} connections")
+
+    journey = backend.journey(4, 0, departure=8 * 60)
+    legs = " / ".join(
+        f"{leg.from_station}→{leg.to_station} "
+        f"{format_time(leg.departure)}-{format_time(leg.arrival)}"
+        for leg in journey.legs
+    )
+    lines.append(f"08:00 commute 4→0: arrive {format_time(journey.arrival)}"
+                 f" via {legs}")
+
+    # Streaming batch: answers arrive one by one, in submission order.
+    for answer in backend.iter_batch([(0, 5), (2, 7), (6, 1)]):
+        best = answer.profile.connection_points()[0]
+        lines.append(
+            f"  {answer.source}→{answer.target}: {len(answer.profile)} "
+            f"connections, first {format_time(best[0])} ({best[1]} min)"
+        )
+
+    # The dynamic scenario: delay a train, replan, re-ask.
+    update = backend.apply_delays([Delay(train=28, minutes=30)])
+    delayed = backend.journey(4, 0, departure=8 * 60)
+    lines.append(f"after delaying train 28 (generation "
+                 f"{update.generation}): arrive "
+                 f"{format_time(delayed.arrival)}")
+    return lines
+
+
+def main() -> None:
+    store = Path(tempfile.mkdtemp()) / "losangeles"
+    timetable = make_instance("losangeles", scale="tiny")
+    config = ServiceConfig(
+        num_threads=2, use_distance_table=True, transfer_fraction=0.1
+    )
+    TransitService(timetable, config).save(store)
+
+    # Transport 1: in-process, straight off the artifact store.
+    local = connect(store)
+    local_lines = commute_report(local)
+    print("LocalBackend (in-process store):")
+    for line in local_lines:
+        print(f"  {line}")
+
+    # Transport 2: the same store behind a server, over HTTP.
+    registry = DatasetRegistry.from_stores([store])
+    loop = asyncio.new_event_loop()
+    threading.Thread(target=loop.run_forever, daemon=True).start()
+    server = TransitServer(registry, port=0)
+    asyncio.run_coroutine_threadsafe(server.start(), loop).result(10)
+    remote = connect(f"http://127.0.0.1:{server.port}/losangeles")
+    remote_lines = commute_report(remote)
+    print(f"\nHttpBackend (http://127.0.0.1:{server.port}):")
+    for line in remote_lines:
+        print(f"  {line}")
+
+    assert local_lines == remote_lines, "transports must answer identically"
+    print("\nidentical output on both transports — parity holds")
+
+    remote.close()
+    asyncio.run_coroutine_threadsafe(server.shutdown(), loop).result(30)
+    loop.call_soon_threadsafe(loop.stop)
+
+
+if __name__ == "__main__":
+    main()

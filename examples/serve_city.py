@@ -1,11 +1,15 @@
 #!/usr/bin/env python3
-"""Serve a city over HTTP: the full lifecycle of ``repro.server``.
+"""Serve a city over HTTP: the full lifecycle of ``repro.server``,
+driven through the ``repro.client`` SDK.
 
 1. prepare a dataset once and persist it to an artifact store;
 2. warm-load it into a :class:`DatasetRegistry` and start the
    :class:`TransitServer` (exactly what ``repro-transit serve
    --store DIR`` does);
-3. query all three shapes over the versioned JSON wire protocol;
+3. connect an :class:`HttpBackend` and ask all three query shapes —
+   the same calls would run unchanged against a
+   :class:`LocalBackend` over the store (see
+   ``examples/client_backends.py`` for that parity demo);
 4. post a delay hot swap and watch the answers change generation;
 5. read ``/metrics`` and shut down gracefully (drain, then stop).
 
@@ -13,23 +17,14 @@ Run:  python examples/serve_city.py
 """
 
 import asyncio
-import json
 import tempfile
 import threading
-import urllib.request
 from pathlib import Path
 
 from repro import ServiceConfig, TransitService, make_instance
+from repro.client import HttpBackend
 from repro.server import DatasetRegistry, TransitServer
-
-
-def request(port: int, method: str, path: str, body: dict | None = None):
-    data = None if body is None else json.dumps(body).encode("utf-8")
-    req = urllib.request.Request(
-        f"http://127.0.0.1:{port}{path}", data=data, method=method
-    )
-    with urllib.request.urlopen(req) as response:
-        return json.loads(response.read())
+from repro.timetable.delays import Delay
 
 
 def main() -> None:
@@ -49,67 +44,51 @@ def main() -> None:
     threading.Thread(target=loop.run_forever, daemon=True).start()
     server = TransitServer(registry, port=0, max_inflight=32)
     asyncio.run_coroutine_threadsafe(server.start(), loop).result(10)
-    port = server.port
-    print(f"\nserving on http://127.0.0.1:{port}")
-    print(f"  healthz: {request(port, 'GET', '/healthz')}")
+    print(f"\nserving on http://127.0.0.1:{server.port}")
 
-    # --- 3. All three query shapes over the wire ----------------------
-    journey = request(
-        port,
-        "POST",
-        "/v1/losangeles/journey",
-        {"source": 4, "target": 0, "departure": 8 * 60},
-    )
+    # --- 3. Connect the SDK; all three query shapes -------------------
+    # The URL names the dataset; `connect()` would pick the backend
+    # from the target ("http://..." vs a store path) automatically.
+    backend = HttpBackend(f"http://127.0.0.1:{server.port}/losangeles")
+    info = backend.info()
+    print(f"  serving {info.name}: {info.stations} stations, "
+          f"{info.connections} connections (generation {info.generation})")
+
+    journey = backend.journey(4, 0, departure=8 * 60)
     print(
         f"\njourney 4 → 0 departing 08:00: arrive minute "
-        f"{journey['arrival']} via {len(journey['legs'])} leg(s) "
-        f"[{journey['stats']['classification']}]"
+        f"{journey.arrival} via {len(journey.legs)} leg(s) "
+        f"[{journey.stats.classification}]"
     )
-    profile = request(
-        port, "POST", "/v1/losangeles/profile", {"source": 4, "targets": [0]}
-    )
+    profile = backend.profile(4, targets=[0])
     print(
         f"profile 4 → 0 over the period: "
-        f"{len(profile['profiles']['0'])} best connections"
+        f"{len(profile.profiles[0])} best connections"
     )
-    batch = request(
-        port,
-        "POST",
-        "/v1/losangeles/batch",
-        {"journeys": [{"source": 0, "target": 5}, {"source": 2, "target": 7}]},
-    )
-    print(f"batch of {batch['stats']['num_queries']} journeys answered")
+    batch = backend.batch([(0, 5), (2, 7)])
+    print(f"batch of {batch.stats.num_queries} journeys answered")
 
     # --- 4. Hot delay swap --------------------------------------------
-    swap = request(
-        port,
-        "POST",
-        "/v1/datasets/losangeles/delays",
-        {"delays": [{"train": 28, "minutes": 30}]},
-    )
+    swap = backend.apply_delays([Delay(train=28, minutes=30)])
     print(
-        f"\nhot swap: generation {swap['generation']} replanned in "
-        f"{swap['swap_seconds'] * 1000:.0f} ms (in-flight queries "
+        f"\nhot swap: generation {swap.generation} replanned in "
+        f"{swap.swap_seconds * 1000:.0f} ms (in-flight queries "
         f"drained against the old timetable)"
     )
-    delayed = request(
-        port,
-        "POST",
-        "/v1/losangeles/journey",
-        {"source": 4, "target": 0, "departure": 8 * 60},
-    )
+    delayed = backend.journey(4, 0, departure=8 * 60)
     print(
-        f"same journey now arrives minute {delayed['arrival']} "
-        f"(was {journey['arrival']})"
+        f"same journey now arrives minute {delayed.arrival} "
+        f"(was {journey.arrival})"
     )
 
     # --- 5. Metrics + graceful drain ----------------------------------
-    metrics = request(port, "GET", "/metrics")
+    metrics = backend.server_metrics()
     print(
         f"\nmetrics: {sum(metrics['requests_total'].values())} requests, "
         f"result-cache hit rate "
         f"{metrics['datasets']['losangeles']['result_cache']['hit_rate']:.2f}"
     )
+    backend.close()
     asyncio.run_coroutine_threadsafe(server.shutdown(), loop).result(30)
     loop.call_soon_threadsafe(loop.stop)
     print("drained and stopped cleanly")

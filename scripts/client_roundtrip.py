@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""CI round trip: drive every server endpoint through the client SDK.
+
+Usage:  client_roundtrip.py http://127.0.0.1:PORT
+
+Run against a `repro-transit serve` started with ``--max-inflight 1``
+and a generous ``--batch-window-ms`` (the CI server-smoke job does):
+the single admission slot plus the journey collection window let the
+script *force* a real 503→retry→success cycle deterministically —
+one thread parks a journey in the batch window (occupying the slot),
+the main thread's journey is rejected 503 `overloaded`, backs off per
+``Retry-After``, and succeeds on retry.
+
+Asserted end to end, over real TCP, via :class:`HttpBackend` only:
+
+1. dataset resolution from ``/v1/datasets`` (no name given);
+2. all query shapes agree with each other (journey profile ==
+   restricted one-to-all profile == batch item == streamed item);
+3. ``journey_many`` batches in one round trip;
+4. the forced retry happened (client counted it, the server's
+   ``retries_observed_total`` and ``rejected_total`` saw it);
+5. a delay hot swap bumps the generation and moves the journey;
+6. typed errors: out-of-range station raises the documented
+   exception, not a raw HTTP failure.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+from repro.client import BadRequestError, HttpBackend, RetryPolicy
+from repro.service.model import JourneyRequest
+from repro.timetable.delays import Delay
+
+
+def main() -> int:
+    base_url = sys.argv[1]
+    backend = HttpBackend(
+        base_url,
+        retry=RetryPolicy(retries=6, backoff=0.1, max_backoff=1.5),
+        timeout=60,
+    )
+
+    # 1. Resolve the one served dataset.
+    info = backend.info()
+    print(f"dataset: {info.name} ({info.stations} stations, "
+          f"generation {info.generation})")
+    assert info.generation == 0
+
+    # 2. Query-shape agreement.
+    journey = backend.journey(2, 5)
+    profile = backend.profile(2, targets=[5])
+    assert profile.profiles[5] == journey.profile, (
+        "profile restriction disagrees with the journey profile"
+    )
+    batch = backend.batch([(2, 5)])
+    assert batch.journeys[0].profile == journey.profile
+    streamed = list(backend.iter_batch([(2, 5)]))
+    assert streamed[0].profile == journey.profile
+    print(f"query shapes agree: {len(journey.profile)} connection points")
+
+    # 3. journey_many in one round trip.
+    many = backend.journey_many([JourneyRequest(2, 5), JourneyRequest(0, 7)])
+    assert [a.target for a in many] == [5, 7]
+    assert many[0].profile == journey.profile
+    print(f"journey_many answered {len(many)} journeys in one request")
+
+    # 4. Force a retry: park one journey in the batch window (it holds
+    # the single admission slot), then collide with it.
+    parked = threading.Thread(
+        target=lambda: backend.journey(1, 6)
+    )
+    parked.start()
+    collided = backend.journey(3, 8)
+    parked.join(timeout=60)
+    assert collided.reachable is not None  # an actual answer arrived
+    assert backend.stats.retries >= 1, (
+        f"expected the collision to force a 503 retry "
+        f"(stats: {backend.stats})"
+    )
+    print(f"forced retry observed client-side: {backend.stats.retries}")
+
+    # 5. Hot swap moves the journey and bumps the generation.
+    update = backend.apply_delays([Delay(train=0, minutes=45)])
+    assert update.generation == 1, update
+    delayed = backend.journey(2, 5)
+    assert delayed.profile != journey.profile, (
+        "post-swap journey did not change"
+    )
+    assert backend.info().generation == 1
+    print(f"hot swap: generation {update.generation}, journey moved")
+
+    # 6. Typed errors over the wire.
+    try:
+        backend.journey(0, 10**6)
+    except BadRequestError as exc:
+        assert exc.code == "out_of_range" and exc.field == "target"
+        print(f"typed rejection: {exc}")
+    else:
+        raise AssertionError("out-of-range target was not rejected")
+
+    # The server saw all of it.
+    metrics = backend.server_metrics()
+    assert metrics["retries_observed_total"] >= 1, metrics
+    assert metrics["rejected_total"] >= 1, metrics
+    assert metrics["swaps_total"] == {info.name: 1}, metrics
+    served = sum(metrics["requests_total"].values())
+    print(f"server metrics: {served} requests, "
+          f"{metrics['rejected_total']} rejected, "
+          f"{metrics['retries_observed_total']} retries observed")
+    backend.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

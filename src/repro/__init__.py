@@ -36,6 +36,17 @@ milliseconds (no builds, bitwise-identical answers)::
     service.save("stores/oahu")
     warm = TransitService.load("stores/oahu")
 
+Or write against the transport-agnostic client SDK — the same program
+runs unchanged over an in-process dataset or a remote
+``repro-transit serve`` fleet, with bitwise-identical answers::
+
+    from repro import connect
+    backend = connect("stores/oahu")              # LocalBackend
+    backend = connect("http://host:8321/oahu")    # HttpBackend
+    backend.journey(0, 5, departure=8 * 60)
+    for answer in backend.iter_batch([(0, 5), (3, 9)]):
+        ...                                       # streaming batch
+
 The lower-level building blocks remain available for research use::
 
     from repro import (
@@ -96,9 +107,22 @@ from repro.service import (
     TransitService,
     prepare_dataset,
 )
+from repro.client import (
+    BackendError,
+    BackendTimeoutError,
+    BadRequestError,
+    HttpBackend,
+    LocalBackend,
+    OverloadedError,
+    RetryPolicy,
+    TransitBackend,
+    TransportError,
+    UnknownDatasetError,
+    connect,
+)
 from repro.synthetic import make_instance
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Connection",
@@ -151,5 +175,16 @@ __all__ = [
     "load_dataset",
     "save_dataset",
     "make_instance",
+    "TransitBackend",
+    "LocalBackend",
+    "HttpBackend",
+    "RetryPolicy",
+    "connect",
+    "BackendError",
+    "TransportError",
+    "BackendTimeoutError",
+    "BadRequestError",
+    "UnknownDatasetError",
+    "OverloadedError",
     "__version__",
 ]

@@ -16,10 +16,13 @@ Subcommands::
 ``profile``, ``query`` and ``batch`` accept ``--kernel {python,flat}``:
 ``python`` is the reference object-graph SPCS, ``flat`` the packed
 flat-array kernel (identical results, several times faster).  All
-three run on top of the :class:`~repro.service.TransitService` facade:
-the CLI builds one service per invocation (prepare once) and issues
-typed requests against it.  ``batch --json`` emits a one-line JSON
-throughput summary for scriptable perf tracking.
+three run against a :class:`~repro.client.TransitBackend`: an
+in-process :class:`~repro.client.LocalBackend` by default, or — with
+``--remote http://host:port[/dataset]`` — an
+:class:`~repro.client.HttpBackend` against a running ``repro-transit
+serve`` fleet, with byte-identical output either way (the client SDK's
+parity guarantee, ``docs/CLIENT.md``).  ``batch --json`` emits a
+one-line JSON throughput summary for scriptable perf tracking.
 
 Timetables are read from a GTFS-like directory (``--gtfs DIR``),
 generated on the fly (``--instance NAME [--scale SCALE]``), or — for
@@ -30,7 +33,11 @@ under the configuration the store was prepared with; the
 preparation-shaping ``--kernel`` and ``--transfer-fraction`` are
 therefore rejected next to ``--from-store`` (re-run ``prepare`` to
 change them), while the runtime-only ``--cores`` / ``--backend`` /
-``--workers`` still apply when given explicitly.
+``--workers`` still apply when given explicitly.  ``--remote`` is
+stricter for the same reason: the *server's* preparation and execution
+configuration governs, so every dataset- or execution-shaping flag is
+rejected next to it (``--cores`` stays legal for ``profile``, where it
+is a per-request field of the wire protocol).
 
 Long-running commands handle SIGINT/SIGTERM gracefully: ``serve``
 stops accepting, drains in-flight requests and exits 0; an
@@ -49,10 +56,16 @@ import threading
 from contextlib import contextmanager
 
 from repro.analysis import render_table1, render_table2, run_table1, run_table2
+from repro.client import BackendError, LocalBackend, TransitBackend, connect
 from repro.core import KERNELS
 from repro.graph import build_td_graph
 from repro.query import BATCH_BACKENDS
-from repro.service import BatchRequest, ServiceConfig, TransitService
+from repro.service import (
+    BatchRequest,
+    ProfileRequest,
+    ServiceConfig,
+    TransitService,
+)
 from repro.store import StoreError, describe_store
 from repro.synthetic.workloads import random_station_pairs
 from repro.synthetic import INSTANCE_NAMES, make_instance
@@ -62,7 +75,10 @@ from repro.timetable.types import Timetable
 
 
 def _add_input_arguments(
-    parser: argparse.ArgumentParser, *, allow_store: bool = False
+    parser: argparse.ArgumentParser,
+    *,
+    allow_store: bool = False,
+    allow_remote: bool = False,
 ) -> None:
     group = parser.add_mutually_exclusive_group(required=True)
     group.add_argument(
@@ -76,6 +92,14 @@ def _add_input_arguments(
             help="warm-start from an artifact store written by "
             "`prepare --store` (skips every build; the stored config "
             "governs, see module help)",
+        )
+    if allow_remote:
+        group.add_argument(
+            "--remote",
+            metavar="URL",
+            help="query a running `repro-transit serve` instance at "
+            "http://host:port[/dataset] instead of preparing locally "
+            "(the server's configuration governs, see module help)",
         )
     # Store-capable commands default the instance-shaping flags to
     # None so an explicit value next to --from-store can be rejected
@@ -325,23 +349,80 @@ def _service_from_args(
     )
 
 
+def _backend_from_args(
+    args: argparse.Namespace,
+    *,
+    quiet: bool = False,
+    default_cores: int = 4,
+    backend: str | None = None,
+    workers: int | None = None,
+    seed_is_runtime: bool = False,
+    remote_allows_cores: bool = False,
+) -> TransitBackend:
+    """The query commands' :class:`TransitBackend`: an
+    :class:`HttpBackend` for ``--remote``, else a
+    :class:`LocalBackend` over :func:`_service_from_args`.
+
+    ``--remote`` runs under the *server's* preparation and execution
+    configuration, so — mirroring the ``--from-store`` rule — every
+    flag that shapes the dataset or its execution is rejected instead
+    of silently ignored.  ``--cores`` survives only where the wire
+    protocol carries it per request (``profile``,
+    ``remote_allows_cores``).
+    """
+    remote = getattr(args, "remote", None)
+    if not remote:
+        service = _service_from_args(
+            args,
+            quiet=quiet,
+            default_cores=default_cores,
+            backend=backend,
+            workers=workers,
+            seed_is_runtime=seed_is_runtime,
+        )
+        store = getattr(args, "from_store", None)
+        name = args.instance or (store and str(store)) or args.gtfs
+        return LocalBackend(service, name=name)
+    rejected = [
+        ("--kernel", getattr(args, "kernel", None)),
+        ("--transfer-fraction", getattr(args, "transfer_fraction", None)),
+        ("--scale", getattr(args, "scale", None)),
+        ("--backend", backend),
+        ("--workers", workers),
+    ]
+    if not seed_is_runtime:
+        rejected.append(("--seed", getattr(args, "seed", None)))
+    if not remote_allows_cores:
+        rejected.append(("--cores", getattr(args, "cores", None)))
+    for flag, value in rejected:
+        if value is not None:
+            raise SystemExit(
+                f"error: {flag} cannot be combined with --remote "
+                f"(the server's configuration governs; set it on "
+                f"`repro-transit serve` instead)"
+            )
+    try:
+        return connect(remote)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
-    service = _service_from_args(args)
-    timetable = service.timetable
-    result = service.profile(args.source)
+    backend = _backend_from_args(args, remote_allows_cores=True)
+    request = ProfileRequest(args.source, num_threads=args.cores)
+    # --target trims what travels (and what prints): the search is
+    # one-to-all regardless, exactly like the wire protocol's targets.
+    targets = None if args.target is None else [args.target]
+    result = backend.profile(request, targets=targets)
     stats = result.stats
     print(
         f"one-to-all from station {args.source} on {stats.num_threads} "
         f"cores: {stats.settled_connections} settled connections, "
         f"simulated time {stats.simulated_seconds * 1000:.1f} ms"
     )
-    targets = (
-        range(timetable.num_stations) if args.target is None else [args.target]
-    )
-    for target in targets:
+    for target, profile in result.profiles.items():
         if target == args.source:
             continue
-        profile = result.profile(target)
         points = ", ".join(
             f"{format_time(dep)}→{format_time(dep + dur)}"
             for dep, dur in profile.connection_points()[: args.max_points]
@@ -352,8 +433,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    service = _service_from_args(args)
-    result = service.journey(args.source, args.target)
+    backend = _backend_from_args(args)
+    result = backend.journey(args.source, args.target)
     stats = result.stats
     print(
         f"{args.source} → {args.target} ({stats.classification}): "
@@ -369,10 +450,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     # --seed also seeds the random query workload here, so it stays
-    # legal (and meaningful) next to --from-store.
+    # legal (and meaningful) next to --from-store and --remote.
     seed = args.seed if args.seed is not None else 0
     args.seed = seed
-    service = _service_from_args(
+    backend = _backend_from_args(
         args,
         quiet=args.json,
         default_cores=1,
@@ -380,9 +461,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         workers=args.workers,
         seed_is_runtime=True,
     )
-    timetable = service.timetable
-    pairs = random_station_pairs(timetable, args.n_queries, seed=seed)
-    batch = service.batch(BatchRequest.from_pairs(pairs))
+    # Same seed + same station count ⇒ same workload on every
+    # transport (info() is free locally, one GET remotely).
+    pairs = random_station_pairs(
+        backend.info().stations, args.n_queries, seed=seed
+    )
+    batch = backend.batch(BatchRequest.from_pairs(pairs))
     stats = batch.stats
     settled = sum(r.stats.settled_connections for r in batch.journeys)
     if args.json:
@@ -393,20 +477,33 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         # queries_per_second is inf for an instantaneous (e.g. empty)
         # batch; json.dumps would emit the non-RFC-8259 token Infinity.
         qps = stats.queries_per_second
+        # Preparation accounting exists only where preparation ran:
+        # a remote backend reports the serving side's dataset, whose
+        # prepare cost was paid by the server.
+        prepare = (
+            backend.service.prepare_stats
+            if isinstance(backend, LocalBackend)
+            else None
+        )
         summary = {
             "num_queries": stats.num_queries,
             "kernel": stats.kernel,
             "backend": stats.backend,
             "workers": stats.num_workers,
             "seed": args.seed,
+            "transport": "local" if prepare is not None else "http",
             "total_seconds": round(stats.total_seconds, 6),
             "queries_per_second": round(qps, 2) if math.isfinite(qps) else 0.0,
             "setup_seconds": round(stats.setup_seconds, 6),
-            "prepare_seconds": round(
-                service.prepare_stats.total_seconds, 6
+            "prepare_seconds": (
+                None if prepare is None else round(prepare.total_seconds, 6)
             ),
-            "transfer_stations": service.prepare_stats.num_transfer_stations,
-            "table_mib": round(service.prepare_stats.table_mib, 4),
+            "transfer_stations": (
+                None if prepare is None else prepare.num_transfer_stations
+            ),
+            "table_mib": (
+                None if prepare is None else round(prepare.table_mib, 4)
+            ),
             "settled_connections": settled,
             "mean_simulated_seconds": round(
                 sum(r.stats.simulated_seconds for r in batch.journeys)
@@ -555,6 +652,12 @@ def build_parser() -> argparse.ArgumentParser:
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_package_version()}",
+        help="print the package version and exit",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_gen = sub.add_parser("generate", help="emit a synthetic GTFS-like feed")
@@ -594,7 +697,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_prepare.set_defaults(func=_cmd_prepare)
 
     p_profile = sub.add_parser("profile", help="one-to-all profile query")
-    _add_input_arguments(p_profile, allow_store=True)
+    _add_input_arguments(p_profile, allow_store=True, allow_remote=True)
     p_profile.add_argument("--source", type=int, required=True)
     p_profile.add_argument("--target", type=int, default=None)
     p_profile.add_argument(
@@ -608,7 +711,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.set_defaults(func=_cmd_profile)
 
     p_query = sub.add_parser("query", help="station-to-station query")
-    _add_input_arguments(p_query, allow_store=True)
+    _add_input_arguments(p_query, allow_store=True, allow_remote=True)
     p_query.add_argument("--source", type=int, required=True)
     p_query.add_argument("--target", type=int, required=True)
     p_query.add_argument(
@@ -630,7 +733,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch = sub.add_parser(
         "batch", help="batched random query workload (throughput check)"
     )
-    _add_input_arguments(p_batch, allow_store=True)
+    _add_input_arguments(p_batch, allow_store=True, allow_remote=True)
     p_batch.add_argument(
         "--n-queries", type=int, default=20, help="random (source, target) pairs"
     )
@@ -722,9 +825,23 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _package_version() -> str:
+    # Imported lazily: repro/__init__ imports broadly; the CLI module
+    # must stay importable as `repro.cli` without that cost up front.
+    from repro import __version__
+
+    return __version__
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BackendError as exc:
+        # Typed client/transport failures (connection refused, retry
+        # budget exhausted, server-side rejection) are user errors or
+        # operational conditions, not tracebacks.
+        raise SystemExit(f"error: {exc}") from None
 
 
 if __name__ == "__main__":

@@ -1,0 +1,146 @@
+"""The client SDK's typed exception hierarchy.
+
+One hierarchy for both transports: every failure a
+:class:`~repro.client.backend.TransitBackend` can raise is a
+:class:`BackendError`, and the *same* condition raises the *same*
+exception type whichever backend answered.  Server error payloads
+(``{"error": {"code", "message", "field"}}``, see
+:mod:`repro.server.protocol`) map onto it through
+:func:`error_from_payload`; :class:`~repro.client.backend.LocalBackend`
+routes its in-process validation through the very same mapping, so a
+caller's ``except`` clauses cannot tell transports apart.
+
+The hierarchy also stays compatible with what the facade layer raises
+directly: :class:`BadRequestError` **is a** ``ValueError`` (the facade
+rejects bad delays with ``ValueError``) and
+:class:`UnknownDatasetError` **is a** ``KeyError`` (mirroring
+:class:`repro.server.registry.RegistryError`) — pre-client call sites
+catching the built-in types keep working unchanged.
+
+Transport-level failures (connection refused, mid-body disconnect,
+request timeout) can only happen over HTTP and raise
+:class:`TransportError` / :class:`BackendTimeoutError`; a retriable 503
+that survives the bounded retry budget raises :class:`OverloadedError`
+with the server's ``Retry-After`` hint attached.
+"""
+
+from __future__ import annotations
+
+
+class BackendError(Exception):
+    """Base of every error a :class:`TransitBackend` raises.
+
+    ``code`` is the stable machine-readable identifier (the wire
+    protocol's error code, or a transport-level one such as
+    ``"timeout"``); ``message`` is human-readable and not contractual;
+    ``field`` names the offending request field when one could be
+    singled out; ``status`` is the HTTP status the condition maps to
+    (also set by :class:`LocalBackend` for parity).
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        *,
+        field: str | None = None,
+        status: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.field = field
+        self.status = status
+
+    def __str__(self) -> str:
+        suffix = f" (field: {self.field})" if self.field else ""
+        return f"[{self.code}] {self.message}{suffix}"
+
+
+class TransportError(BackendError):
+    """A network-level failure before a complete response arrived:
+    connection refused (``code="connection_refused"``), the server
+    vanished mid-body (``"disconnected"``), or an unparseable response
+    (``"invalid_response"``).  Only :class:`HttpBackend` raises these —
+    they are the one observable difference between transports, and they
+    mean *no answer*, never a wrong one."""
+
+
+class BackendTimeoutError(TransportError):
+    """The per-request timeout elapsed before the response completed
+    (``code="timeout"``).  The request may or may not have executed
+    server-side; queries are pure, so retrying is always safe."""
+
+
+class BadRequestError(BackendError, ValueError):
+    """The request itself is invalid (HTTP 400-class): unknown field,
+    wrong type, out-of-range station or train, bad delay.  Carries the
+    wire protocol's typed payload (``code``/``message``/``field``).
+    Also a :class:`ValueError`, matching what the service facade raises
+    for the same conditions in-process."""
+
+
+class UnknownDatasetError(BackendError, KeyError):
+    """The named dataset is not served (HTTP 404 ``unknown_dataset``).
+    Also a :class:`KeyError`, matching
+    :class:`repro.server.registry.RegistryError`."""
+
+    def __str__(self) -> str:  # KeyError would repr() the args tuple
+        return BackendError.__str__(self)
+
+
+class OverloadedError(BackendError):
+    """Every retry attempt was answered with a retriable 503
+    (``code`` ``"overloaded"`` or ``"draining"``).  ``retry_after``
+    carries the server's last ``Retry-After`` hint in seconds (``None``
+    when the server sent none), ``attempts`` how many requests were
+    made before giving up."""
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        *,
+        retry_after: float | None = None,
+        attempts: int = 1,
+        field: str | None = None,
+    ) -> None:
+        super().__init__(code, message, field=field, status=503)
+        self.retry_after = retry_after
+        self.attempts = attempts
+
+
+class ServerInternalError(BackendError):
+    """The server failed to answer (HTTP 500 ``internal``): a bug on
+    the serving side, not in the request."""
+
+
+def error_from_payload(
+    status: int,
+    payload: object,
+    *,
+    retry_after: float | None = None,
+    attempts: int = 1,
+) -> BackendError:
+    """Map a wire error payload onto the typed hierarchy.
+
+    This is the single mapping both backends share:
+    :class:`HttpBackend` feeds it non-200 response bodies,
+    :class:`LocalBackend` feeds it
+    :meth:`~repro.server.protocol.ProtocolError.payload` from its
+    in-process validation — identical exceptions either way.
+    """
+    error = payload.get("error", {}) if isinstance(payload, dict) else {}
+    code = error.get("code", "internal")
+    message = error.get("message", f"server answered HTTP {status}")
+    field = error.get("field")
+    if code == "unknown_dataset":
+        return UnknownDatasetError(code, message, status=status)
+    if status == 503 or code in ("overloaded", "draining"):
+        return OverloadedError(
+            code, message, retry_after=retry_after, attempts=attempts,
+            field=field,
+        )
+    if status >= 500:
+        return ServerInternalError(code, message, field=field, status=status)
+    return BadRequestError(code, message, field=field, status=status)

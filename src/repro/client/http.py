@@ -1,0 +1,488 @@
+"""`HttpBackend` — the stdlib-only remote transport.
+
+Speaks the :mod:`repro.server` wire protocol (see ``docs/SERVER.md``)
+over persistent HTTP/1.1 keep-alive connections:
+
+* **connection pool** — up to ``pool_size`` idle connections are kept
+  and reused across requests (and across threads: the pool is locked,
+  each in-flight request owns its connection exclusively).  A reused
+  connection that the server closed while idle is replaced
+  transparently and the request is re-sent once — callers never see
+  the keep-alive race.
+* **per-request timeouts** — ``timeout`` bounds every socket
+  operation; expiry raises
+  :class:`~repro.client.errors.BackendTimeoutError`.
+* **bounded retry with backoff** — a retriable 503 (``overloaded`` /
+  ``draining``) is retried up to ``retry.retries`` times with
+  exponential backoff, honouring the server's ``Retry-After`` hint
+  (capped at ``retry.max_backoff``).  Retries identify themselves with
+  an ``X-Retry-Attempt`` header, which the server counts in
+  ``/metrics`` (``retries_observed_total``).  An exhausted budget
+  raises :class:`~repro.client.errors.OverloadedError`.
+* **typed errors** — every non-200 payload maps through
+  :func:`~repro.client.errors.error_from_payload`, the same mapping
+  :class:`~repro.client.backend.LocalBackend` applies in-process, so
+  error handling is transport-agnostic too.
+
+Answers decode through :mod:`repro.client.results` — bitwise-identical
+to :class:`LocalBackend` over the same prepared dataset
+(``tests/client/test_transport_parity.py``).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from dataclasses import dataclass, field
+from threading import Lock
+from typing import Iterator, Sequence
+from urllib.parse import urlsplit
+
+from repro.client import wire
+from repro.client.errors import (
+    BackendTimeoutError,
+    OverloadedError,
+    TransportError,
+    error_from_payload,
+)
+from repro.client.results import (
+    BatchAnswer,
+    DatasetInfo,
+    DelayUpdate,
+    JourneyAnswer,
+    ProfileAnswer,
+    decode_batch,
+    decode_delay_update,
+    decode_info,
+    decode_journey,
+    decode_profile,
+)
+from repro.server.protocol import PROTOCOL_VERSION
+from repro.service.model import BatchRequest, JourneyRequest, ProfileRequest
+from repro.timetable.delays import Delay
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Bounded retry for retriable 503s (and only those).
+
+    Attempt ``n`` (0-based) sleeps
+    ``min(max(backoff * multiplier**n, retry_after), max_backoff)``
+    where ``retry_after`` is the server's hint (ignored when
+    ``honor_retry_after`` is off).  ``retries=0`` disables retrying.
+    """
+
+    retries: int = 4
+    backoff: float = 0.05
+    multiplier: float = 2.0
+    max_backoff: float = 2.0
+    honor_retry_after: bool = True
+
+    def delay(self, attempt: int, retry_after: float | None) -> float:
+        backoff = self.backoff * self.multiplier**attempt
+        if self.honor_retry_after and retry_after is not None:
+            backoff = max(backoff, retry_after)
+        return min(backoff, self.max_backoff)
+
+
+@dataclass(slots=True)
+class HttpBackendStats:
+    """Client-side transport accounting (one per backend)."""
+
+    requests: int = 0
+    retries: int = 0
+    reconnects: int = 0
+    responses_by_status: dict = field(default_factory=dict)
+
+
+class _ConnectionPool:
+    """A small stack of reusable keep-alive connections to one host."""
+
+    def __init__(
+        self, scheme: str, host: str, port: int, *, size: int, timeout: float
+    ) -> None:
+        self._factory = (
+            http.client.HTTPSConnection
+            if scheme == "https"
+            else http.client.HTTPConnection
+        )
+        self.host = host
+        self.port = port
+        self.size = size
+        self.timeout = timeout
+        self._idle: list[http.client.HTTPConnection] = []
+        self._lock = Lock()
+
+    def acquire(
+        self, *, fresh: bool = False
+    ) -> tuple[http.client.HTTPConnection, bool]:
+        """Borrow a connection; ``True`` means it is reused (and may
+        have been closed by the server while idle).  ``fresh`` skips
+        the idle stack — for requests that must not race a stale
+        keep-alive connection (non-idempotent posts, the re-send after
+        a stale one already failed)."""
+        if not fresh:
+            with self._lock:
+                if self._idle:
+                    return self._idle.pop(), True
+        return self._factory(self.host, self.port, timeout=self.timeout), False
+
+    def release(
+        self, conn: http.client.HTTPConnection, *, reusable: bool
+    ) -> None:
+        if reusable:
+            with self._lock:
+                if len(self._idle) < self.size:
+                    self._idle.append(conn)
+                    return
+        conn.close()
+
+    def close(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()
+
+
+class HttpBackend:
+    """A :class:`~repro.client.backend.TransitBackend` over HTTP.
+
+    ``base_url`` is ``http(s)://host:port`` with an optional trailing
+    ``/dataset`` path segment; without one (and without ``dataset=``)
+    the backend asks ``/v1/datasets`` and requires the server to serve
+    exactly one.  See the module docstring for pooling, timeout and
+    retry semantics, and ``docs/CLIENT.md`` for the full tour.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        dataset: str | None = None,
+        *,
+        timeout: float = 30.0,
+        retry: RetryPolicy | None = None,
+        pool_size: int = 4,
+    ) -> None:
+        split = urlsplit(base_url)
+        if split.scheme not in ("http", "https") or not split.hostname:
+            raise ValueError(
+                f"base_url must be http(s)://host[:port][/dataset], "
+                f"got {base_url!r}"
+            )
+        path = split.path.strip("/")
+        if path and dataset is None:
+            dataset = path
+        elif path and path != dataset:
+            raise ValueError(
+                f"dataset given twice and inconsistently: "
+                f"{path!r} in the URL, {dataset!r} as argument"
+            )
+        self.base_url = f"{split.scheme}://{split.netloc}"
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.stats = HttpBackendStats()
+        self._pool = _ConnectionPool(
+            split.scheme,
+            split.hostname,
+            split.port or (443 if split.scheme == "https" else 80),
+            size=pool_size,
+            timeout=timeout,
+        )
+        self._sleep = time.sleep  # injection point for retry tests
+        self._stats_lock = Lock()  # stats are shared across threads
+        self._dataset = dataset
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def dataset(self) -> str:
+        """The served dataset this backend talks to (resolved from
+        ``/v1/datasets`` on first use when not named explicitly)."""
+        if self._dataset is None:
+            self._resolve_dataset(self._list_datasets())
+        return self._dataset
+
+    def _resolve_dataset(self, entries: list[DatasetInfo]) -> None:
+        names = [entry.name for entry in entries]
+        if len(names) != 1:
+            raise ValueError(
+                f"server at {self.base_url} serves {names or 'nothing'}; "
+                f"name the dataset (HttpBackend(url, dataset=...) or a "
+                f"/dataset URL suffix)"
+            )
+        self._dataset = names[0]
+
+    def close(self) -> None:
+        self._pool.close()
+
+    def __enter__(self) -> "HttpBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- query shapes ----------------------------------------------------
+
+    def profile(
+        self,
+        request: ProfileRequest | int,
+        *,
+        targets: Sequence[int] | None = None,
+    ) -> ProfileAnswer:
+        body = wire.profile_body(wire.as_profile_request(request), targets)
+        return decode_profile(
+            self._post(f"/v1/{self.dataset}/profile", body)
+        )
+
+    def journey(
+        self,
+        request: JourneyRequest | int,
+        target: int | None = None,
+        *,
+        departure: int | None = None,
+    ) -> JourneyAnswer:
+        body = wire.journey_body(
+            wire.as_journey_request(request, target, departure)
+        )
+        return decode_journey(self._post(f"/v1/{self.dataset}/journey", body))
+
+    def journey_many(
+        self, requests: Sequence[JourneyRequest]
+    ) -> list[JourneyAnswer]:
+        """Many journeys in one round trip (one ``/batch`` request —
+        the same mapping ``LocalBackend.journey_many`` mirrors)."""
+        answer = self.batch(BatchRequest(journeys=tuple(requests)))
+        return list(answer.journeys)
+
+    def batch(
+        self, request: BatchRequest | Sequence[tuple[int, int]]
+    ) -> BatchAnswer:
+        body = wire.batch_body(wire.as_batch_request(request))
+        return decode_batch(self._post(f"/v1/{self.dataset}/batch", body))
+
+    def iter_batch(
+        self, request: BatchRequest | Sequence[tuple[int, int]]
+    ) -> Iterator[JourneyAnswer | ProfileAnswer]:
+        """Stream a batch: one wire request per item, yielding each
+        answer as it arrives (submission order, journeys before
+        profiles) — constant client memory however large the batch,
+        and first answers arrive before the last query runs."""
+        req = wire.as_batch_request(request)
+        for journey in req.journeys:
+            yield self.journey(journey)
+        for profile in req.profiles:
+            yield self.profile(profile)
+
+    # -- delays and metadata ---------------------------------------------
+
+    def apply_delays(
+        self, delays: Sequence[Delay], *, slack_per_leg: int = 0
+    ) -> DelayUpdate:
+        # Not idempotent: a replayed swap would stack the delays onto
+        # the already-delayed timetable, so no transparent re-send on
+        # connection failures (503 rejections happen *before* any
+        # replan and stay safely retriable).
+        body = wire.delays_body(delays, slack_per_leg)
+        return decode_delay_update(
+            self._post(
+                f"/v1/datasets/{self.dataset}/delays",
+                body,
+                idempotent=False,
+            )
+        )
+
+    def info(self) -> DatasetInfo:
+        # One fetch serves both jobs: resolving an unnamed dataset and
+        # answering with its entry.
+        entries = self._list_datasets()
+        if self._dataset is None:
+            self._resolve_dataset(entries)
+        for entry in entries:
+            if entry.name == self._dataset:
+                return entry
+        raise error_from_payload(
+            404,
+            {
+                "error": {
+                    "code": "unknown_dataset",
+                    "message": f"dataset {self.dataset!r} is not served "
+                    f"by {self.base_url}",
+                }
+            },
+        )
+
+    def server_metrics(self) -> dict:
+        """The server's ``/metrics`` document (transport-specific
+        extra: a local backend has no serving metrics)."""
+        return self._request("GET", "/metrics")
+
+    # -- transport internals ----------------------------------------------
+
+    def _list_datasets(self) -> list[DatasetInfo]:
+        payload = self._request("GET", "/v1/datasets")
+        return [decode_info(raw) for raw in payload.get("datasets", [])]
+
+    def _post(
+        self, path: str, body: dict, *, idempotent: bool = True
+    ) -> dict:
+        return self._request(
+            "POST",
+            path,
+            {"v": PROTOCOL_VERSION, **body},
+            idempotent=idempotent,
+        )
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        *,
+        idempotent: bool = True,
+    ) -> dict:
+        """One logical request: retry loop over :meth:`_send_once`."""
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        attempt = 0
+        while True:
+            status, headers, payload = self._send_once(
+                method, path, data, attempt, idempotent=idempotent
+            )
+            if status == 200:
+                return payload
+            retry_after = _parse_retry_after(headers.get("retry-after"))
+            error = error_from_payload(
+                status, payload, retry_after=retry_after, attempts=attempt + 1
+            )
+            retriable = isinstance(error, OverloadedError)
+            if not retriable or attempt >= self.retry.retries:
+                raise error
+            with self._stats_lock:
+                self.stats.retries += 1
+            self._sleep(self.retry.delay(attempt, retry_after))
+            attempt += 1
+
+    def _send_once(
+        self,
+        method: str,
+        path: str,
+        data: bytes | None,
+        attempt: int,
+        *,
+        idempotent: bool = True,
+    ) -> tuple[int, dict, dict]:
+        """One wire exchange; returns ``(status, lowercased headers,
+        decoded payload)``.
+
+        Idempotent requests (queries are pure) first try a pooled
+        keep-alive connection; if the server closed it while idle, the
+        exchange is re-sent once on a **fresh** connection (never a
+        second pooled one — the whole idle stack may be stale after a
+        server restart).  Non-idempotent requests skip the pool's idle
+        stack entirely: a stale-connection failure is then impossible,
+        so no replay can ever double-apply them.
+        """
+        headers = {"Content-Type": "application/json"}
+        if attempt > 0:
+            headers["X-Retry-Attempt"] = str(attempt)
+        passes = (False, True) if idempotent else (True,)
+        for i, force_fresh in enumerate(passes):
+            conn, reused = self._pool.acquire(fresh=force_fresh)
+            try:
+                conn.request(method, path, body=data, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except Exception as exc:  # noqa: BLE001 — mapped below
+                conn.close()
+                if reused and _is_stale_connection(exc) and i + 1 < len(passes):
+                    # Keep-alive race: the server closed the idle
+                    # connection before our bytes arrived.  Nothing
+                    # ran; re-send on a fresh connection.
+                    with self._stats_lock:
+                        self.stats.reconnects += 1
+                    continue
+                raise _map_transport_error(exc, self._pool) from exc
+            status = response.status
+            with self._stats_lock:
+                self.stats.requests += 1
+                by_status = self.stats.responses_by_status
+                by_status[status] = by_status.get(status, 0) + 1
+            self._pool.release(
+                conn, reusable=not response.will_close
+            )
+            try:
+                payload = json.loads(raw)
+            except (ValueError, UnicodeDecodeError):
+                raise TransportError(
+                    "invalid_response",
+                    f"server answered HTTP {status} with a non-JSON body "
+                    f"({len(raw)} bytes)",
+                ) from None
+            return (
+                status,
+                {k.lower(): v for k, v in response.headers.items()},
+                payload,
+            )
+        raise AssertionError("unreachable: the final pass raises or returns")
+
+
+def _parse_retry_after(value: str | None) -> float | None:
+    if value is None:
+        return None
+    try:
+        parsed = float(value)
+    except ValueError:
+        return None
+    return parsed if parsed >= 0 else None
+
+
+def _is_stale_connection(exc: Exception) -> bool:
+    """Failures that, on a *reused* connection, mean the server closed
+    it while idle — before our request bytes were processed."""
+    return isinstance(
+        exc,
+        (
+            http.client.RemoteDisconnected,
+            ConnectionResetError,
+            BrokenPipeError,
+            http.client.CannotSendRequest,
+        ),
+    )
+
+
+def _map_transport_error(
+    exc: Exception, pool: _ConnectionPool
+) -> TransportError:
+    where = f"{pool.host}:{pool.port}"
+    if isinstance(exc, (socket.timeout, TimeoutError)):
+        return BackendTimeoutError(
+            "timeout",
+            f"no complete response from {where} within {pool.timeout:g}s",
+        )
+    if isinstance(exc, ConnectionRefusedError):
+        return TransportError(
+            "connection_refused", f"nothing is listening on {where}"
+        )
+    if isinstance(
+        exc,
+        (
+            http.client.RemoteDisconnected,
+            http.client.IncompleteRead,
+            ConnectionResetError,
+            BrokenPipeError,
+            EOFError,
+        ),
+    ):
+        return TransportError(
+            "disconnected",
+            f"{where} closed the connection mid-exchange: {exc}",
+        )
+    if isinstance(exc, (http.client.HTTPException, OSError)):
+        return TransportError(
+            "transport", f"HTTP exchange with {where} failed: {exc}"
+        )
+    raise exc
+
+
+__all__ = ["HttpBackend", "HttpBackendStats", "RetryPolicy"]

@@ -84,6 +84,7 @@ class TransitServer:
         max_inflight: int = 64,
         batch_window: float = 0.002,
         batch_max: int = 8,
+        retry_after: float = 1.0,
         executor: QueryExecutor | None = None,
         metrics: ServerMetrics | None = None,
     ) -> None:
@@ -91,10 +92,17 @@ class TransitServer:
             raise ValueError(
                 f"max_inflight must be >= 1, got {max_inflight}"
             )
+        if retry_after < 0:
+            raise ValueError(
+                f"retry_after must be non-negative, got {retry_after}"
+            )
         self.registry = registry
         self.host = host
         self.port = port  # replaced by the bound port after start()
         self.max_inflight = max_inflight
+        #: Backoff hint (seconds) sent as ``Retry-After`` on every
+        #: retriable 503; cooperative clients (repro.client) honor it.
+        self.retry_after = retry_after
         self.metrics = metrics if metrics is not None else ServerMetrics()
         self.executor = (
             executor
@@ -169,27 +177,31 @@ class TransitServer:
                     break
                 method, path, headers, body = request
                 if body is _BODY_TOO_LARGE:
-                    status, payload = 413, _error(
+                    status, payload, extra = 413, _error(
                         "payload_too_large",
                         f"request body exceeds {MAX_BODY_BYTES} bytes",
-                    )
+                    ), {}
                     # The oversized body was never read off the socket,
                     # so the connection cannot be reused.
                     keep_alive = False
                 else:
-                    status, payload = await self._dispatch(
-                        method, path, body
+                    status, payload, extra = await self._dispatch(
+                        method, path, headers, body
                     )
                     keep_alive = (
                         headers.get("connection", "").lower() != "close"
                         and not self._draining
                     )
                 data = json.dumps(payload).encode("utf-8")
+                extra_lines = "".join(
+                    f"{name}: {value}\r\n" for name, value in extra.items()
+                )
                 head = (
                     f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
                     f"Content-Type: application/json\r\n"
                     f"Content-Length: {len(data)}\r\n"
                     f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+                    f"{extra_lines}"
                     f"\r\n"
                 ).encode("latin-1")
                 writer.write(head + data)
@@ -240,13 +252,22 @@ class TransitServer:
     # -- routing --------------------------------------------------------
 
     async def _dispatch(
-        self, method: str, path: str, body: bytes
-    ) -> tuple[int, dict]:
+        self, method: str, path: str, headers: dict[str, str], body: bytes
+    ) -> tuple[int, dict, dict]:
+        """Route one request; returns ``(status, payload, extra
+        response headers)``.  Handlers return 2-tuples unless they have
+        headers to add (the 503 rejections carry ``Retry-After``)."""
         endpoint = self._endpoint_label(method, path)
         self.metrics.observe_request(endpoint)
+        self._observe_client_retry(headers)
         t0 = time.perf_counter()
+        extra: dict = {}
         try:
-            status, payload = await self._route(method, path, body, endpoint)
+            answer = await self._route(method, path, body, endpoint)
+            if len(answer) == 3:
+                status, payload, extra = answer
+            else:
+                status, payload = answer
         except ProtocolError as exc:
             status, payload = exc.status, exc.payload()
         except RegistryError as exc:
@@ -262,7 +283,21 @@ class TransitServer:
         self.metrics.observe_response(
             endpoint, status, time.perf_counter() - t0
         )
-        return status, payload
+        return status, payload, extra
+
+    def _observe_client_retry(self, headers: dict[str, str]) -> None:
+        """Count requests that declare themselves retries (the
+        ``X-Retry-Attempt`` header repro.client sends with its 503
+        backoff retries) in ``retries_observed_total``."""
+        raw = headers.get("x-retry-attempt")
+        if raw is None:
+            return
+        try:
+            attempt = int(raw)
+        except ValueError:
+            return
+        if attempt > 0:
+            self.metrics.observe_client_retry()
 
     def _endpoint_label(self, method: str, path: str) -> str:
         """Low-cardinality endpoint label for metrics (dataset names
@@ -281,7 +316,7 @@ class TransitServer:
 
     async def _route(
         self, method: str, path: str, body: bytes, endpoint: str
-    ) -> tuple[int, dict]:
+    ) -> tuple:
         parts = [p for p in path.split("?")[0].split("/") if p]
 
         if parts == ["healthz"]:
@@ -326,14 +361,15 @@ class TransitServer:
 
     # -- handlers -------------------------------------------------------
 
-    def _admit(self, endpoint: str) -> tuple[int, dict] | None:
+    def _admit(self, endpoint: str) -> tuple[int, dict, dict] | None:
         """Admission control: fast 503 instead of an unbounded queue.
-        Returns the rejection response, or ``None`` when admitted."""
+        Returns the rejection response (with its ``Retry-After``
+        backoff hint), or ``None`` when admitted."""
         if self._draining:
             self.metrics.observe_reject(endpoint)
             return 503, _error(
                 "draining", "server is shutting down", retriable=True
-            )
+            ), self._retry_after_header()
         if self._inflight >= self.max_inflight:
             self.metrics.observe_reject(endpoint)
             return 503, _error(
@@ -341,12 +377,20 @@ class TransitServer:
                 f"{self._inflight} requests in flight "
                 f"(max_inflight={self.max_inflight}); retry",
                 retriable=True,
-            )
+            ), self._retry_after_header()
         return None
+
+    def _retry_after_header(self) -> dict:
+        # RFC 9110 wants integral delta-seconds; emit sub-second
+        # values as-is anyway (our own client parses floats, and a
+        # strict parser falling back to "retry later" is still right).
+        value = self.retry_after
+        rendered = str(int(value)) if float(value).is_integer() else f"{value:g}"
+        return {"Retry-After": rendered}
 
     async def _handle_query(
         self, name: str, shape: str, body: bytes, endpoint: str
-    ) -> tuple[int, dict]:
+    ) -> tuple:
         rejection = self._admit(endpoint)
         if rejection is not None:
             return rejection
@@ -378,7 +422,7 @@ class TransitServer:
 
     async def _handle_delays(
         self, name: str, body: bytes, endpoint: str
-    ) -> tuple[int, dict]:
+    ) -> tuple:
         # Replans are CPU-heavy worker-pool jobs like any query: they
         # obey the same admission bound (a swap storm must not starve
         # queries) and a draining server starts no new ones.

@@ -86,6 +86,7 @@ class ServerMetrics:
         self.responses_total: dict[str, dict[str, int]] = {}
         self.latency: dict[str, LatencyHistogram] = {}
         self.rejected_total = 0
+        self.retries_observed_total = 0
         self.inflight = 0
         self.micro_batches_total = 0
         self.micro_batched_queries_total = 0
@@ -114,6 +115,13 @@ class ServerMetrics:
     def observe_reject(self, endpoint: str) -> None:
         self.rejected_total += 1
 
+    def observe_client_retry(self) -> None:
+        """A request declared itself a retry (``X-Retry-Attempt`` > 0)
+        — cooperative clients such as
+        :class:`repro.client.HttpBackend` mark their 503 backoff
+        retries this way, making retry pressure visible server-side."""
+        self.retries_observed_total += 1
+
     def observe_micro_batch(self, size: int) -> None:
         self.micro_batches_total += 1
         self.micro_batched_queries_total += size
@@ -140,6 +148,7 @@ class ServerMetrics:
                 for endpoint, statuses in self.responses_total.items()
             },
             "rejected_total": self.rejected_total,
+            "retries_observed_total": self.retries_observed_total,
             "inflight": self.inflight,
             "latency": {
                 endpoint: hist.snapshot()

@@ -1,5 +1,10 @@
 """Reproducible random query workloads (paper §5 picks stations
-uniformly at random)."""
+uniformly at random).
+
+Each generator accepts either a :class:`Timetable` or a bare station
+count: remote clients (``repro.client``) know only the served
+dataset's size — same seed, same count, same workload either way.
+"""
 
 from __future__ import annotations
 
@@ -8,27 +13,35 @@ import random
 from repro.timetable.types import Timetable
 
 
+def _num_stations(timetable: Timetable | int) -> int:
+    if isinstance(timetable, int):
+        return timetable
+    return timetable.num_stations
+
+
 def random_sources(
-    timetable: Timetable, count: int, seed: int = 0
+    timetable: Timetable | int, count: int, seed: int = 0
 ) -> list[int]:
     """``count`` source stations, uniform with replacement."""
-    if timetable.num_stations == 0:
+    stations = _num_stations(timetable)
+    if stations == 0:
         raise ValueError("timetable has no stations")
     rng = random.Random(seed)
-    return [rng.randrange(timetable.num_stations) for _ in range(count)]
+    return [rng.randrange(stations) for _ in range(count)]
 
 
 def random_station_pairs(
-    timetable: Timetable, count: int, seed: int = 0
+    timetable: Timetable | int, count: int, seed: int = 0
 ) -> list[tuple[int, int]]:
     """``count`` (source, target) pairs with distinct endpoints."""
-    if timetable.num_stations < 2:
+    stations = _num_stations(timetable)
+    if stations < 2:
         raise ValueError("need at least two stations for pairs")
     rng = random.Random(seed)
     pairs = []
     while len(pairs) < count:
-        s = rng.randrange(timetable.num_stations)
-        t = rng.randrange(timetable.num_stations)
+        s = rng.randrange(stations)
+        t = rng.randrange(stations)
         if s != t:
             pairs.append((s, t))
     return pairs

@@ -1,0 +1,59 @@
+"""Client-suite fixtures: twin backends over identical datasets.
+
+The parity suite's setup mirrors the server e2e suite's: one recipe
+(flat kernel + distance table) builds two *independent,
+identically-configured* services — one behind a live
+:class:`TransitServer` reached through :class:`HttpBackend`, one
+wrapped in a :class:`LocalBackend` — so any divergence between
+transports is the client's fault, never the dataset's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import HttpBackend, LocalBackend
+from repro.server import DatasetRegistry
+from repro.service import ServiceConfig, TransitService
+
+from tests.server.harness import ServerHarness
+
+#: The same recipe the server suite pins parity under: flat kernel
+#: with a distance table, so the pruned query paths are exercised.
+CLIENT_CONFIG = ServiceConfig(
+    num_threads=2,
+    use_distance_table=True,
+    transfer_fraction=0.25,
+)
+
+
+@pytest.fixture()
+def make_service(oahu_tiny):
+    def _make(config: ServiceConfig = CLIENT_CONFIG) -> TransitService:
+        return TransitService(oahu_tiny, config)
+
+    return _make
+
+
+@pytest.fixture()
+def harness(make_service):
+    """A live server over one dataset named ``oahu``."""
+    registry = DatasetRegistry.from_services({"oahu": make_service()})
+    h = ServerHarness(registry)
+    yield h
+    h.close()
+
+
+@pytest.fixture()
+def local_backend(make_service):
+    """A fresh in-process twin of whatever the harness serves."""
+    backend = LocalBackend(make_service(), name="oahu")
+    yield backend
+    backend.close()
+
+
+@pytest.fixture()
+def http_backend(harness):
+    backend = HttpBackend(f"http://127.0.0.1:{harness.port}", dataset="oahu")
+    yield backend
+    backend.close()

@@ -40,6 +40,21 @@ class ServerHarness:
         timeout: float = 30.0,
     ) -> tuple[int, dict]:
         """One HTTP request on a fresh connection; JSON-decoded reply."""
+        status, _headers, payload = self.request_full(
+            method, path, body, timeout=timeout
+        )
+        return status, payload
+
+    def request_full(
+        self,
+        method: str,
+        path: str,
+        body: dict | str | None = None,
+        *,
+        timeout: float = 30.0,
+        headers: dict | None = None,
+    ) -> tuple[int, dict, dict]:
+        """Like :meth:`request`, with lowercased response headers."""
         conn = http.client.HTTPConnection(
             "127.0.0.1", self.port, timeout=timeout
         )
@@ -49,10 +64,13 @@ class ServerHarness:
                 if body is None or isinstance(body, str)
                 else json.dumps(body)
             )
-            conn.request(method, path, body=data)
+            conn.request(method, path, body=data, headers=headers or {})
             response = conn.getresponse()
             payload = json.loads(response.read())
-            return response.status, payload
+            response_headers = {
+                name.lower(): value for name, value in response.headers.items()
+            }
+            return response.status, response_headers, payload
         finally:
             conn.close()
 

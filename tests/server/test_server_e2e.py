@@ -299,7 +299,7 @@ class TestOverloadAndDrain:
             t.start()
             time.sleep(0.1)  # let it be admitted and parked in the window
             t0 = time.perf_counter()
-            status, payload = harness.request(
+            status, headers, payload = harness.request_full(
                 "POST", "/v1/oahu/journey", {"source": 1, "target": 6}
             )
             rejected_in = time.perf_counter() - t0
@@ -308,6 +308,9 @@ class TestOverloadAndDrain:
             assert status == 503
             assert payload["error"]["code"] == "overloaded"
             assert payload["error"]["retriable"] is True
+            # The rejection carries the backoff hint clients honor
+            # (default retry_after=1.0 renders as integral seconds).
+            assert headers.get("retry-after") == "1"
             assert rejected_in < 0.4, (
                 f"503 took {rejected_in * 1000:.0f} ms — overload "
                 f"rejection must not wait for the batch window"
@@ -344,11 +347,13 @@ class TestOverloadAndDrain:
         harness = ServerHarness(registry)
         harness.server._draining = True
         try:
-            status, payload = harness.request(
+            status, headers, payload = harness.request_full(
                 "POST", "/v1/oahu/journey", {"source": 0, "target": 5}
             )
             assert status == 503
             assert payload["error"]["code"] == "draining"
+            # Draining rejections advertise the same backoff hint.
+            assert headers.get("retry-after") == "1"
             # Delay swaps obey the same gate: no new replans mid-drain.
             status, payload = harness.request(
                 "POST",
@@ -463,3 +468,36 @@ class TestHttpErrors:
         assert metrics["requests_total"][label] == 1
         assert metrics["responses_total"][label]["200"] == 1
         assert metrics["latency"][label]["count"] == 1
+
+    def test_metrics_count_observed_client_retries(self, harness):
+        """Requests that declare themselves retries (X-Retry-Attempt,
+        as sent by repro.client's 503 backoff) feed the
+        retries_observed_total counter; first attempts don't."""
+        body = {"source": 0, "target": 5}
+        harness.request_full("POST", "/v1/oahu/journey", body)
+        assert (
+            harness.request("GET", "/metrics")[1]["retries_observed_total"]
+            == 0
+        )
+        harness.request_full(
+            "POST",
+            "/v1/oahu/journey",
+            body,
+            headers={"X-Retry-Attempt": "1"},
+        )
+        harness.request_full(
+            "POST",
+            "/v1/oahu/journey",
+            body,
+            headers={"X-Retry-Attempt": "2"},
+        )
+        # Malformed attempt counts are ignored, not 500s.
+        status, _, _ = harness.request_full(
+            "POST",
+            "/v1/oahu/journey",
+            body,
+            headers={"X-Retry-Attempt": "not-a-number"},
+        )
+        assert status == 200
+        metrics = harness.request("GET", "/metrics")[1]
+        assert metrics["retries_observed_total"] == 2

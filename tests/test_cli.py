@@ -327,6 +327,128 @@ class TestStoreCommands:
             main(["info", "--from-store", str(tmp_path / "nope")])
 
 
+class TestVersionFlag:
+    def test_version_prints_the_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"repro-transit {repro.__version__}"
+
+
+class TestRemoteFlag:
+    """--remote wiring and its rejection rules.  Live round trips
+    against a real server are covered by the client suite and the
+    remote CLI test below."""
+
+    def test_remote_conflicts_with_instance_and_store(self, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "query", "--remote", "http://127.0.0.1:9/x",
+                "--instance", "oahu", "--source", "0", "--target", "5",
+            ])
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main([
+                "query", "--remote", "http://127.0.0.1:9/x",
+                "--from-store", "somewhere", "--source", "0", "--target", "5",
+            ])
+        capsys.readouterr()
+
+    def test_remote_rejects_preparation_flags(self):
+        """Exactly the --from-store rule: dataset-shaping flags are
+        rejected, not silently ignored — and execution-shaping flags
+        too, because execution is the server's."""
+        url = "http://127.0.0.1:9/oahu"
+        cases = [
+            (["query", "--remote", url, "--source", "0", "--target", "5",
+              "--kernel", "python"], "--kernel"),
+            (["query", "--remote", url, "--source", "0", "--target", "5",
+              "--transfer-fraction", "0.1"], "--transfer-fraction"),
+            (["query", "--remote", url, "--source", "0", "--target", "5",
+              "--scale", "tiny"], "--scale"),
+            (["query", "--remote", url, "--source", "0", "--target", "5",
+              "--seed", "3"], "--seed"),
+            (["query", "--remote", url, "--source", "0", "--target", "5",
+              "--cores", "2"], "--cores"),
+            (["batch", "--remote", url, "--n-queries", "2",
+              "--backend", "threads"], "--backend"),
+            (["batch", "--remote", url, "--n-queries", "2",
+              "--workers", "2"], "--workers"),
+            (["profile", "--remote", url, "--source", "0",
+              "--kernel", "flat"], "--kernel"),
+        ]
+        for argv, flag in cases:
+            with pytest.raises(SystemExit, match=f"{flag}.*--remote"):
+                main(argv)
+
+    def test_remote_batch_keeps_workload_seed(self):
+        """--seed drives the workload, so it must *not* be rejected;
+        with nothing listening the failure is the typed connection
+        error, proving the flag got past validation."""
+        with pytest.raises(SystemExit, match="connection_refused"):
+            main([
+                "batch", "--remote", "http://127.0.0.1:9/oahu",
+                "--n-queries", "2", "--seed", "7",
+            ])
+
+    def test_remote_profile_keeps_per_request_cores(self):
+        """--cores maps onto the wire's per-request num_threads for
+        profile, so it stays legal there."""
+        with pytest.raises(SystemExit, match="connection_refused"):
+            main([
+                "profile", "--remote", "http://127.0.0.1:9/oahu",
+                "--source", "0", "--cores", "2",
+            ])
+
+    def test_bad_remote_url_fails_loudly(self):
+        with pytest.raises(SystemExit, match="error:"):
+            main([
+                "query", "--remote", "http:///nohost",
+                "--source", "0", "--target", "5",
+            ])
+
+
+class TestRemoteRoundTrip:
+    def test_query_remote_matches_local(self, capsys):
+        """The CLI parity check: `query --remote` against a live
+        server prints byte-identical journey lines to the same query
+        answered by a local prepare under the server's config."""
+        from repro.server import DatasetRegistry
+        from repro.service import ServiceConfig, TransitService
+        from repro.synthetic import make_instance
+        from tests.server.harness import ServerHarness
+
+        config = ServiceConfig(
+            num_threads=2, use_distance_table=True, transfer_fraction=0.25
+        )
+        service = TransitService(make_instance("oahu", "tiny"), config)
+        harness = ServerHarness(
+            DatasetRegistry.from_services({"oahu": service})
+        )
+        try:
+            assert main([
+                "query", "--remote", f"http://127.0.0.1:{harness.port}/oahu",
+                "--source", "0", "--target", "5",
+            ]) == 0
+            remote_out = capsys.readouterr().out
+            assert main([
+                "query", "--instance", "oahu", "--scale", "tiny",
+                "--source", "0", "--target", "5", "--cores", "2",
+                "--transfer-fraction", "0.25",
+            ]) == 0
+            local_out = capsys.readouterr().out
+            remote_lines = [
+                l for l in remote_out.splitlines() if "depart" in l
+            ]
+            local_lines = [l for l in local_out.splitlines() if "depart" in l]
+            assert remote_lines and remote_lines == local_lines
+        finally:
+            harness.close()
+
+
 class TestServeParser:
     def test_serve_flags_parse(self):
         from repro.cli import build_parser
