@@ -26,7 +26,7 @@ _rows: dict[str, dict] = {}
 
 
 @pytest.mark.parametrize("queue", QUEUES)
-def test_heap_variant(benchmark, graphs, report, queue):
+def test_heap_variant(benchmark, graphs, report, benchops, queue):
     graph = graphs.graph(INSTANCE)
     sources = random_sources(graph.timetable, NUM_QUERIES, seed=6)
 
@@ -45,3 +45,15 @@ def test_heap_variant(benchmark, graphs, report, queue):
         ]
         table = format_table(["queue", "settled conns", "time [ms]"], rows)
         report.add("ablation_heap", f"[{INSTANCE}]\n{table}\n")
+        benchops.add(
+            "ablation_heap",
+            {
+                f"{q.replace('-', '_')}_ms": _rows[q]["mean_s"] * 1000
+                for q in QUEUES
+            },
+            config={
+                "instance": INSTANCE,
+                "num_queries": NUM_QUERIES,
+                "queues": list(QUEUES),
+            },
+        )

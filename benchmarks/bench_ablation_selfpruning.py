@@ -21,9 +21,12 @@ INSTANCES = ("oahu", "germany")
 _rows: list[list] = []
 
 
+_settled: dict[tuple[str, bool], float] = {}
+
+
 @pytest.mark.parametrize("instance", INSTANCES)
 @pytest.mark.parametrize("self_pruning", (True, False), ids=["pruned", "unpruned"])
-def test_self_pruning(benchmark, graphs, report, instance, self_pruning):
+def test_self_pruning(benchmark, graphs, report, benchops, instance, self_pruning):
     graph = graphs.graph(instance)
     sources = random_sources(graph.timetable, NUM_QUERIES, seed=5)
 
@@ -36,6 +39,7 @@ def test_self_pruning(benchmark, graphs, report, instance, self_pruning):
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     settled = fmean(r.stats.settled_connections for r in results)
     pruned = fmean(r.stats.pruned_self for r in results)
+    _settled[(instance, self_pruning)] = settled
     _rows.append(
         [instance, "on" if self_pruning else "off", f"{settled:,.0f}", f"{pruned:,.0f}"]
     )
@@ -44,3 +48,19 @@ def test_self_pruning(benchmark, graphs, report, instance, self_pruning):
             ["instance", "self-pruning", "settled conns", "self-pruned"], _rows
         )
         report.add("ablation_selfpruning", table + "\n")
+
+        # Settled counts are deterministic for a fixed seed, so the
+        # work-reduction factor (unpruned / pruned settled) gates with
+        # zero noise — the tightest regression trap in the suite.
+        metrics: dict[str, float] = {}
+        for inst in INSTANCES:
+            on, off = _settled[(inst, True)], _settled[(inst, False)]
+            metrics[f"{inst}_pruned_settled"] = on
+            metrics[f"{inst}_unpruned_settled"] = off
+            if on:
+                metrics[f"{inst}_work_reduction_speedup"] = off / on
+        benchops.add(
+            "ablation_selfpruning",
+            metrics,
+            config={"instances": list(INSTANCES), "num_queries": NUM_QUERIES},
+        )

@@ -47,7 +47,7 @@ def _run(graph, variant, sources):
 
 
 @pytest.mark.parametrize("variant", VARIANTS)
-def test_multicriteria_cost(benchmark, graphs, report, variant):
+def test_multicriteria_cost(benchmark, graphs, report, benchops, variant):
     graph = graphs.graph(INSTANCE)
     sources = random_sources(graph.timetable, NUM_QUERIES, seed=8)
     stats = benchmark.pedantic(_run, args=(graph, variant, sources), rounds=1, iterations=1)
@@ -66,3 +66,23 @@ def test_multicriteria_cost(benchmark, graphs, report, variant):
             ["variant", "settled", "dominance-pruned", "time [ms]"], rows
         )
         report.add("ext_multicriteria", f"[{INSTANCE}]\n{table}\n")
+
+        metrics = {
+            f"{v.replace('-', '_')}_ms": _rows[v]["time"] * 1000
+            for v in VARIANTS
+        }
+        # Pruning effectiveness: settled work saved by the per-layer
+        # rule (deterministic counts, gated exactly).
+        if _rows["mc-k4"]["settled"]:
+            metrics["mc_prune_work_reduction_speedup"] = (
+                _rows["mc-k4-noprune"]["settled"] / _rows["mc-k4"]["settled"]
+            )
+        benchops.add(
+            "ext_multicriteria",
+            metrics,
+            config={
+                "instance": INSTANCE,
+                "num_queries": NUM_QUERIES,
+                "variants": list(VARIANTS),
+            },
+        )

@@ -28,7 +28,7 @@ _services: dict[str, TransitService] = {}
 
 
 @pytest.mark.parametrize("strategy", STRATEGIES)
-def test_partition_strategy(benchmark, graphs, report, strategy):
+def test_partition_strategy(benchmark, graphs, report, benchops, strategy):
     service = _services.get(strategy)
     if service is None:
         service = TransitService.from_graph(
@@ -70,3 +70,21 @@ def test_partition_strategy(benchmark, graphs, report, strategy):
             rows,
         )
         report.add("fig_partition_balance", f"[{INSTANCE}, p={NUM_CORES}]\n{table}\n")
+
+        # Per-strategy wall time (gated) + work imbalance (recorded,
+        # ungated — a balance shape, not a speed claim).
+        metrics = {}
+        for strategy_name, cell in _rows.items():
+            slug = strategy_name.replace("-", "_")
+            metrics[f"{slug}_ms"] = cell["time"] * 1000
+            metrics[f"{slug}_imbalance"] = cell["imbalance"]
+        benchops.add(
+            "fig_partition_balance",
+            metrics,
+            config={
+                "instance": INSTANCE,
+                "num_queries": NUM_QUERIES,
+                "cores": NUM_CORES,
+                "strategies": list(STRATEGIES),
+            },
+        )

@@ -142,7 +142,7 @@ def _bench_mode(service, pairs, requests_per_client, *, batch_window) -> dict:
         harness.close()
 
 
-def test_micro_batching_beats_naive_dispatch(report, scale):
+def test_micro_batching_beats_naive_dispatch(report, benchops, scale):
     import random
 
     timetable = make_instance(INSTANCE, scale)
@@ -184,6 +184,27 @@ def test_micro_batching_beats_naive_dispatch(report, scale):
         "server_throughput",
         f"[scale={scale}, {CLIENTS} closed-loop clients, "
         f"{WORKERS} workers, {INSTANCE}]\n{table}\n",
+    )
+    benchops.add(
+        "server_throughput",
+        {
+            "naive_qps": naive["qps"],
+            "micro_qps": micro["qps"],
+            "micro_advantage_speedup": micro["qps"] / naive["qps"],
+            "naive_p50_ms": naive["p50_ms"],
+            "naive_p99_ms": naive["p99_ms"],
+            "micro_p50_ms": micro["p50_ms"],
+            "micro_p99_ms": micro["p99_ms"],
+            "micro_mean_batch": micro["mean_batch"],
+        },
+        config={
+            "instance": INSTANCE,
+            "clients": CLIENTS,
+            "requests_per_client": requests_per_client,
+            "workers": WORKERS,
+            "batch_window": BATCH_WINDOW,
+            "batch_max": BATCH_MAX,
+        },
     )
 
     # Micro-batching must actually group under this concurrency...

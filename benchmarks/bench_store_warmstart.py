@@ -83,7 +83,7 @@ def _bench_instance(instance: str, scale: str, store_root) -> dict:
     }
 
 
-def test_warm_start_speedup(report, scale, tmp_path_factory):
+def test_warm_start_speedup(report, benchops, scale, tmp_path_factory):
     store_root = tmp_path_factory.mktemp("stores")
     rows = [
         _bench_instance(instance, scale, store_root)
@@ -106,6 +106,22 @@ def test_warm_start_speedup(report, scale, tmp_path_factory):
     report.add(
         "store_warmstart",
         f"[scale={scale}, config=flat+table(5%)]\n{table}\n",
+    )
+    metrics: dict[str, float] = {}
+    for r in rows:
+        metrics[f"{r['instance']}_cold_ms"] = r["cold"] * 1000
+        metrics[f"{r['instance']}_warm_ms"] = r["warm"] * 1000
+        metrics[f"{r['instance']}_warmstart_speedup"] = r["speedup"]
+    benchops.add(
+        "store_warmstart",
+        metrics,
+        config={
+            "instances": list(INSTANCES),
+            "largest": LARGEST,
+            "warm_rounds": WARM_ROUNDS,
+            "kernel": CONFIG.kernel,
+            "transfer_fraction": CONFIG.transfer_fraction,
+        },
     )
 
     largest = next(r for r in rows if r["instance"] == LARGEST)

@@ -60,7 +60,7 @@ def _sources(graph):
 @pytest.mark.parametrize("instance", ALL_INSTANCES)
 @pytest.mark.parametrize("cores", CORE_COUNTS)
 @pytest.mark.parametrize("kernel", KERNELS)
-def test_cs_one_to_all(benchmark, graphs, report, instance, cores, kernel):
+def test_cs_one_to_all(benchmark, graphs, report, benchops, instance, cores, kernel):
     service = _service(graphs, instance, kernel)
     sources = _sources(service.graph)
 
@@ -74,11 +74,11 @@ def test_cs_one_to_all(benchmark, graphs, report, instance, cores, kernel):
     settled = fmean(r.stats.settled_connections for r in results)
     simulated = fmean(r.stats.simulated_seconds for r in results)
     _cells[(instance, kernel, cores)] = {"settled": settled, "time": simulated}
-    _maybe_emit(report, instance)
+    _maybe_emit(report, benchops, instance)
 
 
 @pytest.mark.parametrize("instance", ALL_INSTANCES)
-def test_lc_one_to_all(benchmark, graphs, report, instance):
+def test_lc_one_to_all(benchmark, graphs, report, benchops, instance):
     graph = graphs.graph(instance)
     sources = _sources(graph)
 
@@ -95,10 +95,10 @@ def test_lc_one_to_all(benchmark, graphs, report, instance):
         "settled": fmean(s for s, _ in stats),
         "time": fmean(t for _, t in stats),
     }
-    _maybe_emit(report, instance)
+    _maybe_emit(report, benchops, instance)
 
 
-def _maybe_emit(report, instance):
+def _maybe_emit(report, benchops, instance):
     """Emit the instance's Table 1 block once all its cells are in."""
     keys = [
         (instance, kernel, p) for kernel in KERNELS for p in CORE_COUNTS
@@ -126,3 +126,29 @@ def _maybe_emit(report, instance):
         ["algo", "p", "settled conns", "time [ms]", "spd-up"], rows
     )
     report.add("table1_one_to_all", f"[{instance}]\n{table}\n")
+
+    # One record per instance: every timed cell plus the headline
+    # kernel speed-up the acceptance bar quotes (python p=1 / flat p=1)
+    # and the CS-vs-LC work ratio (settled counts are deterministic).
+    metrics = {
+        f"cs_{kernel}_p{p}_ms": _cells[(instance, kernel, p)]["time"] * 1000
+        for kernel in KERNELS
+        for p in CORE_COUNTS
+    }
+    metrics["lc_ms"] = lc["time"] * 1000
+    flat_time = _cells[(instance, "flat", 1)]["time"]
+    if flat_time:
+        metrics["kernel_speedup"] = base_time / flat_time
+    cs_settled = _cells[(instance, "python", 1)]["settled"]
+    if cs_settled:
+        metrics["lc_vs_cs_settled_ratio"] = lc["settled"] / cs_settled
+    benchops.add(
+        "table1_one_to_all",
+        metrics,
+        config={
+            "instance": instance,
+            "num_queries": NUM_QUERIES,
+            "cores": list(CORE_COUNTS),
+            "kernels": list(KERNELS),
+        },
+    )

@@ -77,7 +77,7 @@ def _run_row(graph, selection, pairs):
 
 @pytest.mark.parametrize("instance", ALL_INSTANCES)
 @pytest.mark.parametrize("selection", _SELECTIONS)
-def test_station_to_station(benchmark, graphs, report, instance, selection):
+def test_station_to_station(benchmark, graphs, report, benchops, instance, selection):
     graph = graphs.graph(instance)
     pairs = random_station_pairs(graph.timetable, NUM_QUERIES, seed=2)
     row = benchmark.pedantic(
@@ -85,10 +85,10 @@ def test_station_to_station(benchmark, graphs, report, instance, selection):
     )
     _rows.setdefault(instance, []).append(row)
     if len(_rows[instance]) == len(_SELECTIONS):
-        _emit(report, instance)
+        _emit(report, benchops, instance)
 
 
-def _emit(report, instance):
+def _emit(report, benchops, instance):
     rows = [r for r in _rows[instance] if r is not None]
     base_time = next(r["time"] for r in rows if r["selection"] == "0.0%")
     formatted = [
@@ -116,3 +116,24 @@ def _emit(report, instance):
         formatted,
     )
     report.add("table2_distance_tables", f"[{instance}]\n{table}\n")
+
+    # Stopping-criterion baseline vs the best table row: the paper's
+    # "tables pay off" claim as two gated times and one speed-up.
+    table_rows = [r for r in rows if r["selection"] != "0.0%"]
+    metrics = {"stopping_only_ms": base_time * 1000}
+    if table_rows:
+        best = min(table_rows, key=lambda r: r["time"])
+        metrics["best_table_ms"] = best["time"] * 1000
+        if best["time"]:
+            metrics["best_table_speedup"] = base_time / best["time"]
+        metrics["best_table_space_mib"] = best["mib"]
+    benchops.add(
+        "table2_distance_tables",
+        metrics,
+        config={
+            "instance": instance,
+            "num_queries": NUM_QUERIES,
+            "cores": NUM_CORES,
+            "selections": _SELECTIONS,
+        },
+    )

@@ -8,6 +8,15 @@ Every bench records its paper-style rows through the session-scoped
 ``report`` fixture; at session end the assembled tables are printed and
 written to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can
 reference them.
+
+Alongside the human tables, every bench emits a schema'd
+:class:`repro.benchops.BenchRecord` through the session-scoped
+``benchops`` fixture: key metrics (wall times, QPS, speed-ups) plus
+machine fingerprint, git SHA, scale and config hash.  Records land as
+pending files under ``benchmarks/records/`` (override with
+``REPRO_BENCH_RECORDS_DIR``); ``repro-transit bench index`` folds them
+into the repo-root ``BENCH_*.json`` trajectories and ``bench compare``
+gates them against the last known-good run (docs/BENCHMARKS.md).
 """
 
 from __future__ import annotations
@@ -17,10 +26,16 @@ from pathlib import Path
 
 import pytest
 
+from repro.benchops import BenchRecord, emit_record
 from repro.graph.td_model import build_td_graph
 from repro.synthetic.instances import make_instance
 
 RESULTS_DIR = Path(__file__).parent / "results"
+RECORDS_DIR = Path(
+    os.environ.get(
+        "REPRO_BENCH_RECORDS_DIR", str(Path(__file__).parent / "records")
+    )
+)
 
 #: Instances × core counts benched for Table 1 and the figures.
 ALL_INSTANCES = ("oahu", "losangeles", "washington", "germany", "europe")
@@ -80,5 +95,39 @@ class Report:
 @pytest.fixture(scope="session")
 def report():
     collector = Report()
+    yield collector
+    collector.flush()
+
+
+class BenchOpsCollector:
+    """Collects one :class:`BenchRecord` per benchmark emit point and
+    writes them as pending record files at session end."""
+
+    def __init__(self, scale: str) -> None:
+        self._scale = scale
+        self._records: list[BenchRecord] = []
+
+    def add(
+        self, benchmark: str, metrics: dict[str, float], config: dict | None = None
+    ) -> None:
+        self._records.append(
+            BenchRecord.capture(
+                benchmark, scale=self._scale, metrics=metrics, config=config
+            )
+        )
+
+    def flush(self) -> None:
+        if not self._records:
+            return
+        paths = [emit_record(record, RECORDS_DIR) for record in self._records]
+        print(
+            f"\n{len(paths)} bench record(s) pending under {RECORDS_DIR} "
+            f"— fold into trajectories with `repro-transit bench index`"
+        )
+
+
+@pytest.fixture(scope="session")
+def benchops(scale):
+    collector = BenchOpsCollector(scale)
     yield collector
     collector.flush()

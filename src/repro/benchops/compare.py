@@ -1,0 +1,189 @@
+"""The regression gate: compare a run against its last known-good.
+
+Direction is encoded in the metric *name* so the comparator needs no
+side table: ``*_ms`` / ``*_seconds`` are lower-is-better, ``*_qps`` /
+``*_speedup`` / ``*_per_second`` / ``*_hit_rate`` are
+higher-is-better, everything else (counts, ratios, sizes) is recorded
+for the trajectory but never gated.
+
+A candidate **regresses** a metric when it moves in the bad direction
+by *strictly more* than the noise band (default ±15 %; per-metric
+overrides widen, narrow or — with ``None`` — disable the gate).
+Exactly-at-the-band passes: the band is the noise we accept, not a
+target.  The baseline is the most recent prior entry with the same
+``scale`` and ``config_hash`` — cross-scale or cross-config entries
+are not comparable and never gate each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.benchops.schema import BenchOpsError, BenchRecord
+
+#: Default symmetric noise band (relative).
+DEFAULT_BAND = 0.15
+
+_LOWER_SUFFIXES = ("_ms", "_seconds")
+_HIGHER_SUFFIXES = ("_qps", "_speedup", "_per_second", "_hit_rate")
+
+
+def metric_direction(name: str) -> int:
+    """``-1`` lower-is-better, ``+1`` higher-is-better, ``0`` ungated."""
+    if name.endswith(_LOWER_SUFFIXES):
+        return -1
+    if name.endswith(_HIGHER_SUFFIXES):
+        return +1
+    return 0
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One gated metric's movement between baseline and candidate."""
+
+    metric: str
+    baseline: float
+    candidate: float
+    #: Relative change, ``(candidate - baseline) / baseline``.
+    change: float
+    #: The band this metric was gated with.
+    band: float
+    direction: int
+    regressed: bool
+
+    def describe(self) -> str:
+        arrow = "↑" if self.change >= 0 else "↓"
+        verdict = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"{self.metric}: {self.baseline:g} → {self.candidate:g} "
+            f"({arrow}{abs(self.change) * 100:.1f}%, band ±{self.band * 100:g}%) "
+            f"{verdict}"
+        )
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Everything one baseline-vs-candidate comparison decided."""
+
+    benchmark: str
+    deltas: list[MetricDelta] = field(default_factory=list)
+    #: Metric names present but never gated (no direction, zero
+    #: baseline, or an explicit ``None`` override).
+    skipped: list[str] = field(default_factory=list)
+    #: Gated metrics the baseline had but the candidate lost — a
+    #: vanished speed claim fails the gate like a regressed one.
+    missing: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing
+
+    def describe(self) -> str:
+        lines = [d.describe() for d in self.deltas]
+        lines += [f"{name}: MISSING from candidate" for name in self.missing]
+        if self.skipped:
+            lines.append(f"(ungated: {', '.join(sorted(self.skipped))})")
+        return "\n".join(lines)
+
+
+def compare_records(
+    baseline: BenchRecord,
+    candidate: BenchRecord,
+    *,
+    band: float = DEFAULT_BAND,
+    overrides: Mapping[str, float | None] | None = None,
+) -> ComparisonReport:
+    """Gate ``candidate`` against ``baseline`` metric by metric."""
+    if band < 0:
+        raise BenchOpsError(f"noise band must be non-negative, got {band}")
+    if baseline.benchmark != candidate.benchmark:
+        raise BenchOpsError(
+            f"cannot compare across benchmarks: "
+            f"{baseline.benchmark!r} vs {candidate.benchmark!r}"
+        )
+    overrides = dict(overrides or {})
+    deltas: list[MetricDelta] = []
+    skipped: list[str] = []
+    missing: list[str] = []
+    for name, base_value in baseline.metrics.items():
+        direction = metric_direction(name)
+        metric_band = overrides.get(name, band)
+        if direction == 0 or metric_band is None:
+            skipped.append(name)
+            continue
+        if name not in candidate.metrics:
+            missing.append(name)
+            continue
+        if base_value == 0:
+            # No relative change is computable from a zero baseline.
+            skipped.append(name)
+            continue
+        value = candidate.metrics[name]
+        change = (value - base_value) / abs(base_value)
+        regressed = (direction < 0 and change > metric_band) or (
+            direction > 0 and change < -metric_band
+        )
+        deltas.append(
+            MetricDelta(
+                metric=name,
+                baseline=base_value,
+                candidate=value,
+                change=change,
+                band=metric_band,
+                direction=direction,
+                regressed=regressed,
+            )
+        )
+    return ComparisonReport(
+        benchmark=baseline.benchmark,
+        deltas=deltas,
+        skipped=skipped,
+        missing=missing,
+    )
+
+
+def find_baseline(
+    history: Sequence[BenchRecord], candidate: BenchRecord
+) -> BenchRecord | None:
+    """The last known-good entry for ``candidate``: the most recent
+    prior record with the same scale and config hash (an entry from a
+    different scale or config measures something else)."""
+    for record in reversed(history):
+        if (
+            record.scale == candidate.scale
+            and record.config_hash == candidate.config_hash
+        ):
+            return record
+    return None
+
+
+def compare_latest(
+    history: Sequence[BenchRecord],
+    *,
+    candidate: BenchRecord | None = None,
+    band: float = DEFAULT_BAND,
+    overrides: Mapping[str, float | None] | None = None,
+) -> ComparisonReport | None:
+    """Gate the newest entry of ``history`` (or an explicit not-yet-
+    indexed ``candidate``) against its last known-good baseline.
+
+    Returns ``None`` when no comparable baseline exists — a first run
+    at a new scale or config cannot regress against anything.
+    """
+    history = list(history)
+    if candidate is None:
+        if not history:
+            return None
+        candidate = history[-1]
+        history = history[:-1]
+    baseline = find_baseline(history, candidate)
+    if baseline is None:
+        return None
+    return compare_records(
+        baseline, candidate, band=band, overrides=overrides
+    )

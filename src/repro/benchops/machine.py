@@ -1,0 +1,42 @@
+"""Machine fingerprint + git provenance for bench records.
+
+A trajectory spans months of commits and possibly several machines; a
+record without "where did this number come from" is noise.  The
+fingerprint is deliberately small — enough to explain a perf cliff
+("oh, that entry ran on 2 cores"), not a full hardware inventory.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+
+
+def machine_fingerprint() -> dict:
+    """The executing machine, as a JSON-safe dict."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def current_git_sha(cwd: str | None = None) -> str | None:
+    """The checked-out commit, or ``None`` outside a git work tree
+    (records stay emittable from exported tarballs and sdists)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    sha = out.stdout.strip()
+    return sha or None

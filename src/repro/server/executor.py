@@ -208,6 +208,26 @@ class QueryExecutor:
                     future.set_exception(exc)
             return
         results: list[JourneyResult] = task.result()
+        if len(results) != len(futures):
+            # journey_many is contracted to answer positionally, one
+            # result per request.  A short list zipped silently would
+            # leave the trailing futures pending forever (their HTTP
+            # requests would hang until client timeout); a long one
+            # means the positional alignment itself is broken.  Fail
+            # every unanswered future loudly instead.
+            error = RuntimeError(
+                f"journey_many returned {len(results)} results for "
+                f"{len(futures)} grouped requests — batch answers must "
+                f"be positional"
+            )
+            for i, future in enumerate(futures):
+                if future.done():
+                    continue
+                if i < len(results) and len(results) < len(futures):
+                    future.set_result(results[i])
+                else:
+                    future.set_exception(error)
+            return
         for future, result in zip(futures, results):
             if not future.done():
                 future.set_result(result)

@@ -11,7 +11,10 @@ rates are visible next to the request counters they explain.
 Latencies are recorded in fixed log-spaced buckets
 (:data:`LATENCY_BUCKETS_MS`); p50/p99 are bucket-upper-bound estimates
 — good enough to spot a regression, not a substitute for the
-client-side percentiles the throughput benchmark measures.
+client-side percentiles the throughput benchmark measures.  A
+percentile falling in the +inf overflow bucket renders as ``null``
+next to a non-zero ``overflow_count`` (never clamped to the last
+finite bound).
 """
 
 from __future__ import annotations
@@ -46,8 +49,14 @@ class LatencyHistogram:
         self._counts[-1] += 1
 
     def percentile(self, q: float) -> float | None:
-        """Upper bound of the bucket holding the q-quantile (``None``
-        with no observations; +inf bucket reports the last bound)."""
+        """Upper bound of the bucket holding the q-quantile.
+
+        ``None`` with no observations — and ``None`` when the quantile
+        falls in the +inf overflow bucket: a 10 s request must never
+        be reported as "p99 ≤ 2500 ms".  The snapshot pairs the null
+        bound with ``overflow_count`` so overload tails stay visible
+        instead of silently clamped to the last finite bound.
+        """
         if self._count == 0:
             return None
         rank = q * self._count
@@ -57,8 +66,13 @@ class LatencyHistogram:
             if seen >= rank and count:
                 if i < len(LATENCY_BUCKETS_MS):
                     return LATENCY_BUCKETS_MS[i]
-                return LATENCY_BUCKETS_MS[-1]
-        return LATENCY_BUCKETS_MS[-1]
+                return None  # overflow bucket: no finite upper bound
+        return None
+
+    @property
+    def overflow_count(self) -> int:
+        """Observations beyond the last finite bucket bound."""
+        return self._counts[-1]
 
     def snapshot(self) -> dict:
         return {
@@ -69,6 +83,7 @@ class LatencyHistogram:
             else None,
             "p50_ms_le": self.percentile(0.50),
             "p99_ms_le": self.percentile(0.99),
+            "overflow_count": self.overflow_count,
             "buckets_ms": {
                 str(bound): self._counts[i]
                 for i, bound in enumerate(LATENCY_BUCKETS_MS)
@@ -86,6 +101,7 @@ class ServerMetrics:
         self.responses_total: dict[str, dict[str, int]] = {}
         self.latency: dict[str, LatencyHistogram] = {}
         self.rejected_total = 0
+        self.rejected_by_endpoint: dict[str, int] = {}
         self.retries_observed_total = 0
         self.inflight = 0
         self.micro_batches_total = 0
@@ -113,7 +129,13 @@ class ServerMetrics:
         hist.observe(seconds)
 
     def observe_reject(self, endpoint: str) -> None:
+        """A 503 (overloaded or draining) on ``endpoint``.  The scalar
+        ``rejected_total`` stays for wire compat; the per-endpoint
+        breakdown makes 503 pressure attributable per route."""
         self.rejected_total += 1
+        self.rejected_by_endpoint[endpoint] = (
+            self.rejected_by_endpoint.get(endpoint, 0) + 1
+        )
 
     def observe_client_retry(self) -> None:
         """A request declared itself a retry (``X-Retry-Attempt`` > 0)
@@ -148,6 +170,7 @@ class ServerMetrics:
                 for endpoint, statuses in self.responses_total.items()
             },
             "rejected_total": self.rejected_total,
+            "rejected_by_endpoint": dict(self.rejected_by_endpoint),
             "retries_observed_total": self.retries_observed_total,
             "inflight": self.inflight,
             "latency": {

@@ -84,10 +84,16 @@ class LRUResultCache:
             self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        # Under the lock like every other reader: pool threads mutate
+        # _entries via put() eviction, and an OrderedDict mid-resize
+        # must never be observed (CPython dict reads are not atomic
+        # against concurrent structural mutation).
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @property
     def stats(self) -> CacheStats:

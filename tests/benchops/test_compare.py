@@ -1,0 +1,220 @@
+"""The regression gate: direction inference, noise-band edges,
+baseline selection, and the CLI exit codes CI relies on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchops import (
+    BenchOpsError,
+    compare_latest,
+    compare_records,
+    metric_direction,
+)
+
+
+class TestMetricDirection:
+    @pytest.mark.parametrize(
+        "name", ["run_ms", "prepare_seconds", "p99_ms"]
+    )
+    def test_lower_is_better(self, name):
+        assert metric_direction(name) == -1
+
+    @pytest.mark.parametrize(
+        "name",
+        ["rate_qps", "kernel_speedup", "queries_per_second", "cache_hit_rate"],
+    )
+    def test_higher_is_better(self, name):
+        assert metric_direction(name) == +1
+
+    @pytest.mark.parametrize(
+        "name", ["settled", "mean_batch", "space_mib", "imbalance"]
+    )
+    def test_unknown_is_ungated(self, name):
+        assert metric_direction(name) == 0
+
+
+class TestCompareRecords:
+    def test_identical_runs_pass(self, record_factory):
+        a = record_factory(metrics={"run_ms": 10.0, "rate_qps": 50.0})
+        b = record_factory(metrics={"run_ms": 10.0, "rate_qps": 50.0})
+        report = compare_records(a, b)
+        assert report.ok
+        assert len(report.deltas) == 2
+
+    def test_regression_beyond_band_fails_both_directions(
+        self, record_factory
+    ):
+        base = record_factory(metrics={"run_ms": 100.0, "rate_qps": 100.0})
+        slow = record_factory(metrics={"run_ms": 120.0, "rate_qps": 100.0})
+        report = compare_records(base, slow)
+        assert not report.ok
+        assert [d.metric for d in report.regressions] == ["run_ms"]
+        starved = record_factory(metrics={"run_ms": 100.0, "rate_qps": 80.0})
+        report = compare_records(base, starved)
+        assert [d.metric for d in report.regressions] == ["rate_qps"]
+
+    def test_band_edges_are_inclusive(self, record_factory):
+        """Exactly-at-the-band passes (the band is accepted noise);
+        one part in a thousand beyond it fails."""
+        base = record_factory(metrics={"run_ms": 1000.0})
+        at_edge = record_factory(metrics={"run_ms": 1150.0})
+        assert compare_records(base, at_edge, band=0.15).ok
+        beyond = record_factory(metrics={"run_ms": 1151.0})
+        assert not compare_records(base, beyond, band=0.15).ok
+        # The good direction is never a regression, however far.
+        much_faster = record_factory(metrics={"run_ms": 1.0})
+        assert compare_records(base, much_faster, band=0.15).ok
+
+    def test_improvements_never_fail(self, record_factory):
+        base = record_factory(metrics={"run_ms": 100.0, "rate_qps": 10.0})
+        better = record_factory(metrics={"run_ms": 10.0, "rate_qps": 100.0})
+        assert compare_records(base, better).ok
+
+    def test_per_metric_override_widens_and_skips(self, record_factory):
+        base = record_factory(metrics={"run_ms": 100.0, "rate_qps": 100.0})
+        cand = record_factory(metrics={"run_ms": 140.0, "rate_qps": 50.0})
+        assert not compare_records(base, cand).ok
+        report = compare_records(
+            base, cand, overrides={"run_ms": 0.5, "rate_qps": None}
+        )
+        assert report.ok
+        assert "rate_qps" in report.skipped
+
+    def test_ungated_metrics_are_skipped(self, record_factory):
+        base = record_factory(metrics={"run_ms": 10.0, "settled": 100.0})
+        cand = record_factory(metrics={"run_ms": 10.0, "settled": 5000.0})
+        report = compare_records(base, cand)
+        assert report.ok
+        assert report.skipped == ["settled"]
+
+    def test_missing_gated_metric_fails(self, record_factory):
+        base = record_factory(metrics={"run_ms": 10.0, "rate_qps": 50.0})
+        cand = record_factory(metrics={"run_ms": 10.0})
+        report = compare_records(base, cand)
+        assert not report.ok
+        assert report.missing == ["rate_qps"]
+
+    def test_zero_baseline_is_skipped(self, record_factory):
+        base = record_factory(metrics={"run_ms": 0.0})
+        cand = record_factory(metrics={"run_ms": 5.0})
+        report = compare_records(base, cand)
+        assert report.ok
+        assert report.skipped == ["run_ms"]
+
+    def test_cross_benchmark_comparison_refused(self, record_factory):
+        with pytest.raises(BenchOpsError, match="across benchmarks"):
+            compare_records(record_factory("a"), record_factory("b"))
+
+    def test_negative_band_refused(self, record_factory):
+        with pytest.raises(BenchOpsError, match="non-negative"):
+            compare_records(record_factory(), record_factory(), band=-0.1)
+
+
+class TestCompareLatest:
+    def test_gates_newest_against_previous(self, record_factory):
+        history = [
+            record_factory(metrics={"run_ms": 10.0}),
+            record_factory(metrics={"run_ms": 10.5}),
+            record_factory(metrics={"run_ms": 20.0}),
+        ]
+        report = compare_latest(history)
+        assert not report.ok
+        assert report.regressions[0].baseline == 10.5
+
+    def test_no_history_no_gate(self, record_factory):
+        assert compare_latest([]) is None
+        assert compare_latest([record_factory()]) is None
+
+    def test_baseline_must_match_scale_and_config(self, record_factory):
+        """Entries from another scale or config never gate: a tiny CI
+        run cannot 'regress' against a small-scale local run."""
+        history = [
+            record_factory(scale="small", metrics={"run_ms": 1.0}),
+            record_factory(
+                scale="tiny", metrics={"run_ms": 1.0}, config={"n": 99}
+            ),
+            record_factory(scale="tiny", metrics={"run_ms": 500.0}),
+        ]
+        assert compare_latest(history) is None  # nothing comparable
+
+        history.append(record_factory(scale="tiny", metrics={"run_ms": 520.0}))
+        report = compare_latest(history)
+        assert report is not None and report.ok  # found the 500 ms baseline
+
+    def test_explicit_candidate_gates_against_full_history(
+        self, record_factory
+    ):
+        history = [record_factory(metrics={"run_ms": 10.0})]
+        degraded = record_factory(metrics={"run_ms": 100.0})
+        report = compare_latest(history, candidate=degraded)
+        assert not report.ok
+
+
+class TestCompareCLI:
+    """The ``bench compare`` exit codes the CI gate depends on."""
+
+    def _seed(self, tmp_path, record_factory, *metric_sets):
+        from repro.benchops import append_record
+
+        for metrics in metric_sets:
+            append_record(tmp_path, record_factory(metrics=metrics))
+
+    def test_exit_zero_on_identical_runs(self, tmp_path, record_factory):
+        from repro.cli import main
+
+        self._seed(
+            tmp_path, record_factory, {"run_ms": 10.0}, {"run_ms": 10.0}
+        )
+        assert main(["bench", "compare", "--root", str(tmp_path)]) == 0
+
+    def test_exit_one_on_regression(self, tmp_path, record_factory, capsys):
+        from repro.cli import main
+
+        self._seed(
+            tmp_path, record_factory, {"run_ms": 10.0}, {"run_ms": 100.0}
+        )
+        assert main(["bench", "compare", "--root", str(tmp_path)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_candidate_file_gates_without_indexing(
+        self, tmp_path, record_factory
+    ):
+        import json
+
+        from repro.cli import main
+
+        self._seed(tmp_path, record_factory, {"run_ms": 10.0})
+        candidate = tmp_path / "candidate.json"
+        candidate.write_text(
+            json.dumps(record_factory(metrics={"run_ms": 100.0}).to_dict())
+        )
+        assert (
+            main(
+                [
+                    "bench",
+                    "compare",
+                    "--root",
+                    str(tmp_path),
+                    "--candidate",
+                    str(candidate),
+                ]
+            )
+            == 1
+        )
+        # A wide band or a skip override lets the same candidate pass.
+        assert (
+            main(
+                [
+                    "bench",
+                    "compare",
+                    "--root",
+                    str(tmp_path),
+                    "--candidate",
+                    str(candidate),
+                    "--override",
+                    "run_ms=skip",
+                ]
+            )
+            == 0
+        )

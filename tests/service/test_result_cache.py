@@ -54,6 +54,50 @@ class TestLRUResultCache:
         cache.clear()
         assert cache.get("a") is None
 
+    def test_concurrent_len_contains_under_eviction_churn(self):
+        """Hammer ``len(cache)`` / ``in`` from reader threads while
+        writers continually put-and-evict: every read must observe a
+        consistent dict (no internal errors) and a size within bounds.
+
+        Before `__len__`/`__contains__` took the lock, readers could
+        catch the OrderedDict mid-mutation between ``put``'s insert and
+        its eviction pop."""
+        import threading
+
+        cache = LRUResultCache(8)
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def writer(offset: int) -> None:
+            i = 0
+            while not stop.is_set():
+                cache.put((offset, i % 64), i)
+                i += 1
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    # put() inserts and evicts under one lock hold, so
+                    # a locked len() can never see the overfull dict.
+                    size = len(cache)
+                    assert 0 <= size <= 8, size
+                    (0, 3) in cache  # noqa: B015 — exercised for safety
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+                stop.set()
+
+        threads = [
+            threading.Thread(target=writer, args=(k,)) for k in range(2)
+        ] + [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        stop.wait(timeout=1.0)
+        stop.set()
+        for t in threads:
+            t.join(timeout=5)
+        assert not errors, errors
+        assert len(cache) <= 8
+
 
 class TestServiceResultCache:
     def test_repeated_requests_hit_every_shape(self, oahu_tiny):
