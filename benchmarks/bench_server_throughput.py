@@ -35,6 +35,8 @@ cache is disabled so both modes do identical work per request.
 
 from __future__ import annotations
 
+import os
+import random
 import statistics
 import threading
 import time
@@ -45,6 +47,7 @@ from repro.server import DatasetRegistry, ServerMetrics
 from repro.service import ServiceConfig, TransitService
 from repro.synthetic.instances import make_instance
 
+from tests.fleet.harness import FleetHarness
 from tests.server.harness import ServerHarness
 
 INSTANCE = "oahu"
@@ -218,3 +221,126 @@ def test_micro_batching_beats_naive_dispatch(report, benchops, scale):
         f"{micro['qps']:.0f} vs {naive['qps']:.0f} QPS "
         f"(need >{MIN_ADVANTAGE:.2f}x)"
     )
+
+
+# ---------------------------------------------------------------------------
+# Fleet mode: N worker processes behind the routing gateway.
+# ---------------------------------------------------------------------------
+
+#: Fleet sizes swept (workers per gateway).
+FLEET_SIZES = (1, 2, 4)
+#: Requests per client per fleet size.
+FLEET_REQUESTS = {"tiny": 15, "small": 25, "medium": 40}
+#: Acceptance floors vs the 1-worker fleet, from the PR bar — asserted
+#: only where the hardware can express process parallelism at all
+#: (``cpu_count > workers``); always *recorded* either way.
+FLEET_MIN_SPEEDUP = {2: 1.6, 4: 2.5}
+#: Even on a starved box the gateway must not collapse throughput.
+FLEET_SANITY_FLOOR = 0.3
+
+
+def test_fleet_scaling_near_linear(
+    report, benchops, scale, tmp_path_factory
+):
+    """QPS scaling 1 → 2 → 4 worker processes behind one gateway.
+
+    This is the subsystem's reason to exist: ``TransitServer`` is one
+    CPython process, so its query compute serializes on the GIL no
+    matter how many threads it runs; worker *processes* each bring
+    their own interpreter.  The workload is therefore the opposite of
+    the micro-batching bench above: every pair forces a full search
+    (at least one endpoint outside ``S_trans``, result cache off), so
+    per-request CPU dwarfs the gateway's passthrough cost and the
+    measurable ceiling is compute, not HTTP framing.
+    """
+    timetable = make_instance(INSTANCE, scale)
+    requests_per_client = FLEET_REQUESTS[scale]
+    service = TransitService(timetable, CONFIG)
+    # Workers warm-start from one shared on-disk store — the fleet's
+    # deployment shape (and mmap lets the OS share the pages).
+    store = tmp_path_factory.mktemp("fleet-bench") / "bench"
+    service.save(store)
+
+    transfer = {int(s) for s in service.table.transfer_stations}
+    outside = [
+        s for s in range(timetable.num_stations) if s not in transfer
+    ]
+    rng = random.Random(7)
+    pairs = []
+    for _ in range(CLIENTS * requests_per_client):
+        source = rng.choice(outside)  # never classifies "table"
+        target = rng.randrange(timetable.num_stations)
+        while target == source:
+            target = rng.randrange(timetable.num_stations)
+        pairs.append((source, target))
+
+    rows: dict[int, dict] = {}
+    for num_workers in FLEET_SIZES:
+        fleet = FleetHarness(
+            [store],
+            num_workers,
+            runtime_dir=tmp_path_factory.mktemp(f"fleet-{num_workers}w"),
+            gateway_kwargs={"max_inflight": CLIENTS * 4},
+        )
+        try:
+            _drive(fleet, pairs[:CLIENTS], 2)  # warm-up, unmeasured
+            rows[num_workers] = _drive(fleet, pairs, requests_per_client)
+        finally:
+            fleet.close()
+
+    base_qps = rows[FLEET_SIZES[0]]["qps"]
+    cores = os.cpu_count() or 1
+    table = format_table(
+        ["workers", "reqs", "QPS", "speedup", "p50 [ms]", "p99 [ms]"],
+        [
+            [
+                str(n),
+                str(rows[n]["requests"]),
+                f"{rows[n]['qps']:.0f}",
+                f"{rows[n]['qps'] / base_qps:.2f}x",
+                f"{rows[n]['p50_ms']:.1f}",
+                f"{rows[n]['p99_ms']:.1f}",
+            ]
+            for n in FLEET_SIZES
+        ],
+    )
+    report.add(
+        "server_throughput",
+        f"[fleet mode: scale={scale}, {CLIENTS} closed-loop clients, "
+        f"full-search pairs, {cores} cores]\n{table}\n",
+    )
+    benchops.add(
+        "fleet_scaling",
+        {
+            **{f"fleet_qps_{n}": rows[n]["qps"] for n in FLEET_SIZES},
+            **{
+                f"fleet_speedup_{n}": rows[n]["qps"] / base_qps
+                for n in FLEET_SIZES[1:]
+            },
+            **{f"fleet_p50_ms_{n}": rows[n]["p50_ms"] for n in FLEET_SIZES},
+        },
+        config={
+            "instance": INSTANCE,
+            "clients": CLIENTS,
+            "requests_per_client": requests_per_client,
+            "fleet_sizes": list(FLEET_SIZES),
+            "cpu_count": cores,
+        },
+    )
+
+    for num_workers, floor in FLEET_MIN_SPEEDUP.items():
+        speedup = rows[num_workers]["qps"] / base_qps
+        if cores > num_workers:
+            assert speedup >= floor, (
+                f"{num_workers}-worker fleet reached only "
+                f"{speedup:.2f}x the 1-worker QPS (need ≥{floor}x on "
+                f"{cores} cores)"
+            )
+        else:
+            # One interpreter per core is the whole premise; with
+            # cpu_count <= workers there is no parallelism to measure.
+            # The trajectory still records the (flat) curve.
+            assert speedup >= FLEET_SANITY_FLOOR, (
+                f"gateway collapsed throughput at {num_workers} workers: "
+                f"{speedup:.2f}x (sanity floor {FLEET_SANITY_FLOOR}x)"
+            )

@@ -47,6 +47,12 @@ runs unchanged over an in-process dataset or a remote
     for answer in backend.iter_batch([(0, 5), (3, 9)]):
         ...                                       # streaming batch
 
+To scale query throughput past one interpreter, serve the same store
+from N worker processes behind a routing gateway
+(``repro-transit serve-fleet``; :mod:`repro.fleet`, docs/FLEET.md) —
+clients keep the URL above, and gain worker failover plus
+fleet-coordinated delay swaps for free.
+
 The lower-level building blocks remain available for research use::
 
     from repro import (
@@ -122,7 +128,7 @@ from repro.client import (
 )
 from repro.synthetic import make_instance
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Connection",

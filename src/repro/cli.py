@@ -10,6 +10,8 @@ Subcommands::
     query      station-to-station profile query
     batch      run a batched random query workload (throughput check)
     serve      async multi-dataset HTTP query server over stores
+    serve-fleet  sharded multi-process serve fleet behind a routing
+               gateway (N worker processes, one address; docs/FLEET.md)
     table1     regenerate Table 1 rows for an instance
     table2     regenerate Table 2 rows for an instance
     bench      benchmark ops: index pending result records into the
@@ -569,6 +571,31 @@ def _cmd_prepare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_port_file(path: str, port: int) -> None:
+    """Publish the bound port atomically: a reader either finds no
+    file yet or a complete, valid port — never a partial write.  This
+    is what lets the fleet supervisor discover ``--port 0`` ephemeral
+    ports without parsing logs (and without port-collision races:
+    the kernel picked a free port at bind time)."""
+    import os
+    import tempfile
+
+    target = os.path.abspath(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=os.path.dirname(target), prefix=".port-"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(f"{port}\n")
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Long-lived multi-dataset HTTP server over artifact stores.
 
@@ -597,8 +624,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_inflight=args.max_inflight,
             batch_window=args.batch_window_ms / 1000.0,
             batch_max=args.batch_max,
+            drain_grace=args.drain_grace_ms / 1000.0,
         )
         await server.start()
+        if args.port_file:
+            _write_port_file(args.port_file, server.port)
         for entry in registry.entries():
             stats = entry.service.prepare_stats
             print(
@@ -624,6 +654,84 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"drained; served {total} request(s)", flush=True)
 
     asyncio.run(_run())
+    return 0
+
+
+def _cmd_serve_fleet(args: argparse.Namespace) -> int:
+    """N worker processes over the same stores, one routing gateway.
+
+    The supervisor spawns the workers (ephemeral ports, port-file
+    discovery, crash restarts with capped backoff); the gateway
+    health-checks and load-balances them, fails queries over on
+    worker death, and coordinates fleet-wide delay swaps.  SIGINT/
+    SIGTERM drains the gateway, then stops the workers; exit 0.
+    """
+    import asyncio
+
+    from repro.fleet import FleetGateway, WorkerSupervisor
+
+    supervisor = WorkerSupervisor(
+        args.store,
+        args.workers,
+        host=args.host,
+        runtime_dir=args.runtime_dir,
+        worker_threads=args.worker_threads,
+        max_inflight=args.worker_max_inflight,
+        batch_window_ms=args.batch_window_ms,
+        batch_max=args.batch_max,
+        drain_grace=args.worker_drain_grace_ms / 1000.0,
+    )
+    print(
+        f"spawning {args.workers} worker(s) over "
+        f"{len(args.store)} store(s)...",
+        flush=True,
+    )
+    try:
+        supervisor.start()
+    except RuntimeError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+    async def _run() -> None:
+        gateway = FleetGateway(
+            supervisor.endpoints,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            health_interval=args.health_interval_ms / 1000.0,
+            eject_after=args.eject_after,
+        )
+        await gateway.start()
+        if args.port_file:
+            _write_port_file(args.port_file, gateway.port)
+        await gateway.wait_ready(workers=args.workers)
+        for name, url in sorted(supervisor.endpoints().items()):
+            print(f"  worker {name}: {url}")
+        print(
+            f"gateway listening on http://{gateway.host}:{gateway.port} "
+            f"(workers={args.workers}, runtime={supervisor.runtime_dir})",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        print("signal received — draining gateway", flush=True)
+        await gateway.shutdown()
+        snapshot = gateway.metrics.snapshot()
+        total = sum(snapshot["requests_total"].values())
+        print(
+            f"gateway drained; routed {total} request(s), "
+            f"{snapshot['failovers_total']} failover(s), "
+            f"{supervisor.restarts_total} worker restart(s)",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(_run())
+    finally:
+        supervisor.stop()
+    print("fleet stopped", flush=True)
     return 0
 
 
@@ -934,7 +1042,113 @@ def build_parser() -> argparse.ArgumentParser:
         default=8,
         help="micro-batch size cap (default: 8)",
     )
+    p_serve.add_argument(
+        "--port-file",
+        metavar="PATH",
+        default=None,
+        help="write the bound port to PATH atomically after binding "
+        "(machine-readable discovery for --port 0; the fleet "
+        "supervisor relies on this)",
+    )
+    p_serve.add_argument(
+        "--drain-grace-ms",
+        type=float,
+        default=0.0,
+        help="on shutdown, report 'draining' on /healthz for this long "
+        "while still serving, before rejecting anything — gives load "
+        "balancers time to stop routing (default: 0)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_fleet = sub.add_parser(
+        "serve-fleet",
+        help="sharded multi-process serve fleet behind a routing "
+        "gateway (see docs/FLEET.md)",
+    )
+    p_fleet.add_argument(
+        "--store",
+        action="append",
+        required=True,
+        metavar="DIR",
+        help="artifact store every worker serves (repeatable; the "
+        "directory basename names the dataset)",
+    )
+    p_fleet.add_argument("--host", default="127.0.0.1")
+    p_fleet.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="gateway listening port (0 = ephemeral; default: 8321)",
+    )
+    p_fleet.add_argument(
+        "--port-file",
+        metavar="PATH",
+        default=None,
+        help="write the gateway's bound port to PATH atomically",
+    )
+    p_fleet.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker *processes* to spawn (default: 2)",
+    )
+    p_fleet.add_argument(
+        "--worker-threads",
+        type=int,
+        default=4,
+        help="query threads per worker process (default: 4)",
+    )
+    p_fleet.add_argument(
+        "--max-inflight",
+        type=int,
+        default=256,
+        help="gateway admission bound (default: 256)",
+    )
+    p_fleet.add_argument(
+        "--worker-max-inflight",
+        type=int,
+        default=64,
+        help="per-worker admission bound (default: 64)",
+    )
+    p_fleet.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="per-worker micro-batch window in ms (default: 2)",
+    )
+    p_fleet.add_argument(
+        "--batch-max",
+        type=int,
+        default=8,
+        help="per-worker micro-batch size cap (default: 8)",
+    )
+    p_fleet.add_argument(
+        "--health-interval-ms",
+        type=float,
+        default=250.0,
+        help="gateway health-check interval in ms (default: 250)",
+    )
+    p_fleet.add_argument(
+        "--eject-after",
+        type=int,
+        default=2,
+        help="consecutive failed health checks before ejecting a "
+        "worker (default: 2; any failed forward ejects immediately)",
+    )
+    p_fleet.add_argument(
+        "--worker-drain-grace-ms",
+        type=float,
+        default=200.0,
+        help="workers' readiness grace on shutdown (default: 200)",
+    )
+    p_fleet.add_argument(
+        "--runtime-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for worker port files and logs (default: a "
+        "fresh temp directory)",
+    )
+    p_fleet.set_defaults(func=_cmd_serve_fleet)
 
     p_bench = sub.add_parser(
         "bench",

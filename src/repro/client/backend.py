@@ -258,9 +258,10 @@ class LocalBackend:
     ) -> DelayUpdate:
         service = self.service
         body = wire.delays_body(delays, slack_per_leg)
-        parsed, slack = self._parse(
+        command = self._parse(
             parse_delay_request, body, service.timetable.num_trains
         )
+        parsed, slack = list(command.delays), command.slack_per_leg
         with self._swap_lock:
             old = self._service if self._service is not None else service
             t0 = time.perf_counter()

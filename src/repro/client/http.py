@@ -318,6 +318,39 @@ class HttpBackend:
         extra: a local backend has no serving metrics)."""
         return self._request("GET", "/metrics")
 
+    # -- raw forwarding ---------------------------------------------------
+
+    def forward(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        *,
+        headers: dict[str, str] | None = None,
+        idempotent: bool = True,
+    ) -> tuple[int, dict, bytes]:
+        """One pooled exchange, byte-for-byte: returns ``(status,
+        lowercased headers, raw response body)`` without decoding,
+        retrying, or raising on non-200 statuses (transport failures —
+        refused, timeout, mid-body disconnect — still raise their
+        typed errors).
+
+        This is the fleet gateway's proxy primitive: a worker's answer
+        passes through verbatim, so gateway answers are bitwise
+        identical to the worker's and the gateway pays zero JSON cost
+        on the hot path.  Stale-keep-alive re-send semantics match
+        :meth:`journey` and friends: idempotent requests may be
+        re-sent once on a fresh connection, non-idempotent ones never
+        touch the idle pool."""
+        return self._send_once(
+            method,
+            path,
+            body,
+            0,
+            idempotent=idempotent,
+            extra_headers=headers,
+        )
+
     # -- transport internals ----------------------------------------------
 
     def _list_datasets(self) -> list[DatasetInfo]:
@@ -346,9 +379,17 @@ class HttpBackend:
         data = None if body is None else json.dumps(body).encode("utf-8")
         attempt = 0
         while True:
-            status, headers, payload = self._send_once(
+            status, headers, raw = self._send_once(
                 method, path, data, attempt, idempotent=idempotent
             )
+            try:
+                payload = json.loads(raw)
+            except (ValueError, UnicodeDecodeError):
+                raise TransportError(
+                    "invalid_response",
+                    f"server answered HTTP {status} with a non-JSON body "
+                    f"({len(raw)} bytes)",
+                ) from None
             if status == 200:
                 return payload
             retry_after = _parse_retry_after(headers.get("retry-after"))
@@ -371,9 +412,12 @@ class HttpBackend:
         attempt: int,
         *,
         idempotent: bool = True,
-    ) -> tuple[int, dict, dict]:
+        extra_headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict, bytes]:
         """One wire exchange; returns ``(status, lowercased headers,
-        decoded payload)``.
+        raw body bytes)`` — decoding is the caller's business
+        (:meth:`_request` parses JSON, :meth:`forward` passes bytes
+        through untouched).
 
         Idempotent requests (queries are pure) first try a pooled
         keep-alive connection; if the server closed it while idle, the
@@ -386,6 +430,8 @@ class HttpBackend:
         headers = {"Content-Type": "application/json"}
         if attempt > 0:
             headers["X-Retry-Attempt"] = str(attempt)
+        if extra_headers:
+            headers.update(extra_headers)
         passes = (False, True) if idempotent else (True,)
         for i, force_fresh in enumerate(passes):
             conn, reused = self._pool.acquire(fresh=force_fresh)
@@ -411,18 +457,10 @@ class HttpBackend:
             self._pool.release(
                 conn, reusable=not response.will_close
             )
-            try:
-                payload = json.loads(raw)
-            except (ValueError, UnicodeDecodeError):
-                raise TransportError(
-                    "invalid_response",
-                    f"server answered HTTP {status} with a non-JSON body "
-                    f"({len(raw)} bytes)",
-                ) from None
             return (
                 status,
                 {k.lower(): v for k, v in response.headers.items()},
-                payload,
+                raw,
             )
         raise AssertionError("unreachable: the final pass raises or returns")
 

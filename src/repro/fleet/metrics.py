@@ -1,0 +1,138 @@
+"""Gateway-side observability.
+
+One :class:`GatewayMetrics` belongs to one
+:class:`~repro.fleet.gateway.FleetGateway`.  Mutation happens on the
+gateway's event-loop thread only (forward results are observed after
+``run_in_executor`` returns), so — like
+:class:`~repro.server.metrics.ServerMetrics` — no locking is needed.
+
+The gateway's request counters deliberately reuse the worker's
+endpoint labels, so a dashboard can overlay "requests the fleet
+received" (gateway) with "requests each worker served" (worker
+``/metrics``, aggregated in the gateway snapshot's ``fleet`` section)
+and attribute the difference to failovers and rejections.  What is
+*new* here is the routing story: per-worker forward counts, failovers
+(a query re-sent to a peer after its first worker died mid-request),
+ejections/readmissions, delay-log catch-up replays, and the duration
+of the routing pause each coordinated swap holds.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.server.metrics import LatencyHistogram
+
+__all__ = ["GatewayMetrics"]
+
+
+class GatewayMetrics:
+    """Routing/forwarding accounting of one gateway (loop-only)."""
+
+    def __init__(self) -> None:
+        self._started = time.monotonic()
+        self.requests_total: dict[str, int] = {}
+        self.responses_total: dict[str, dict[str, int]] = {}
+        self.latency: dict[str, LatencyHistogram] = {}
+        self.rejected_total = 0
+        self.rejected_by_endpoint: dict[str, int] = {}
+        self.inflight = 0
+        #: Forwards that returned (any status), per worker name.
+        self.forwards_total: dict[str, int] = {}
+        #: Queries re-sent to a peer after the first worker failed
+        #: (transport error or retriable 503).
+        self.failovers_total = 0
+        #: 503s answered because no healthy worker was available.
+        self.no_worker_total = 0
+        self.ejections_total: dict[str, int] = {}
+        self.readmissions_total: dict[str, int] = {}
+        #: Delay batches replayed to restarted workers before
+        #: readmission (the catch-up protocol, ``docs/FLEET.md``).
+        self.catch_up_batches_total = 0
+        #: Gateway-coordinated swaps committed, per dataset.
+        self.swaps_total: dict[str, int] = {}
+        self.last_swap_seconds: dict[str, float] = {}
+        #: How long the last swap held the dataset's routing gate
+        #: closed (drain + fleet-wide commit), in seconds.
+        self.last_swap_pause_seconds: dict[str, float] = {}
+        self.health_sweep_errors_total = 0
+
+    # -- observation hooks ---------------------------------------------
+
+    def observe_request(self, endpoint: str) -> None:
+        self.requests_total[endpoint] = (
+            self.requests_total.get(endpoint, 0) + 1
+        )
+
+    def observe_response(
+        self, endpoint: str, status: int, seconds: float
+    ) -> None:
+        per_status = self.responses_total.setdefault(endpoint, {})
+        key = str(status)
+        per_status[key] = per_status.get(key, 0) + 1
+        hist = self.latency.get(endpoint)
+        if hist is None:
+            hist = self.latency[endpoint] = LatencyHistogram()
+        hist.observe(seconds)
+
+    def observe_reject(self, endpoint: str) -> None:
+        self.rejected_total += 1
+        self.rejected_by_endpoint[endpoint] = (
+            self.rejected_by_endpoint.get(endpoint, 0) + 1
+        )
+
+    def observe_forward(self, worker: str) -> None:
+        self.forwards_total[worker] = self.forwards_total.get(worker, 0) + 1
+
+    def observe_ejection(self, worker: str) -> None:
+        self.ejections_total[worker] = (
+            self.ejections_total.get(worker, 0) + 1
+        )
+
+    def observe_readmission(self, worker: str) -> None:
+        self.readmissions_total[worker] = (
+            self.readmissions_total.get(worker, 0) + 1
+        )
+
+    def observe_swap(
+        self, dataset: str, seconds: float, pause_seconds: float
+    ) -> None:
+        self.swaps_total[dataset] = self.swaps_total.get(dataset, 0) + 1
+        self.last_swap_seconds[dataset] = seconds
+        self.last_swap_pause_seconds[dataset] = pause_seconds
+
+    # -- rendering ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe gateway section of the fleet ``/metrics``."""
+        return {
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "requests_total": dict(self.requests_total),
+            "responses_total": {
+                endpoint: dict(statuses)
+                for endpoint, statuses in self.responses_total.items()
+            },
+            "rejected_total": self.rejected_total,
+            "rejected_by_endpoint": dict(self.rejected_by_endpoint),
+            "inflight": self.inflight,
+            "latency": {
+                endpoint: hist.snapshot()
+                for endpoint, hist in self.latency.items()
+            },
+            "forwards_total": dict(self.forwards_total),
+            "failovers_total": self.failovers_total,
+            "no_worker_total": self.no_worker_total,
+            "ejections_total": dict(self.ejections_total),
+            "readmissions_total": dict(self.readmissions_total),
+            "catch_up_batches_total": self.catch_up_batches_total,
+            "swaps_total": dict(self.swaps_total),
+            "last_swap_seconds": {
+                name: round(seconds, 6)
+                for name, seconds in self.last_swap_seconds.items()
+            },
+            "last_swap_pause_seconds": {
+                name: round(seconds, 6)
+                for name, seconds in self.last_swap_pause_seconds.items()
+            },
+            "health_sweep_errors_total": self.health_sweep_errors_total,
+        }

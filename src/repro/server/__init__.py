@@ -26,23 +26,34 @@ semantics.
 
 from repro.server.app import MAX_BODY_BYTES, TransitServer
 from repro.server.executor import QueryExecutor
+from repro.server.http_base import BaseAsyncHttpServer
 from repro.server.metrics import LatencyHistogram, ServerMetrics
-from repro.server.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.server.protocol import (
+    DELAY_MODES,
+    PROTOCOL_VERSION,
+    DelayCommand,
+    ProtocolError,
+)
 from repro.server.registry import (
     DatasetEntry,
     DatasetRegistry,
     RegistryError,
+    SwapStateError,
 )
 
 __all__ = [
+    "DELAY_MODES",
     "MAX_BODY_BYTES",
     "PROTOCOL_VERSION",
+    "BaseAsyncHttpServer",
     "DatasetEntry",
     "DatasetRegistry",
+    "DelayCommand",
     "LatencyHistogram",
     "ProtocolError",
     "QueryExecutor",
     "RegistryError",
     "ServerMetrics",
+    "SwapStateError",
     "TransitServer",
 ]

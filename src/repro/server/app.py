@@ -3,10 +3,12 @@
 Endpoints (all bodies JSON, see :mod:`repro.server.protocol` and
 ``docs/SERVER.md``)::
 
-    GET  /healthz                     liveness + served dataset names
+    GET  /healthz                     readiness + liveness + datasets
     GET  /metrics                     ServerMetrics snapshot
     GET  /v1/datasets                 per-dataset summaries
-    POST /v1/datasets/{name}/delays   hot delay swap (replan + swap)
+    POST /v1/datasets/{name}/delays   hot delay swap (apply, or the
+                                      two-phase prepare/commit/abort
+                                      the fleet gateway drives)
     POST /v1/{name}/profile           one-to-all profile search
     POST /v1/{name}/journey           station-to-station query
     POST /v1/{name}/batch             batched workload
@@ -15,7 +17,10 @@ Design:
 
 * **No blocking on the loop** — every service call runs on the
   :class:`~repro.server.executor.QueryExecutor` worker pool; the loop
-  only parses, routes, and serializes.
+  only parses, routes, and serializes.  The HTTP mechanics (keep-alive
+  loop, request reading, graceful drain) live in
+  :class:`~repro.server.http_base.BaseAsyncHttpServer`, shared with
+  the fleet gateway.
 * **Bounded admission** — at most ``max_inflight`` query requests (and
   delay swaps, which are worker-pool jobs like any query) are in
   flight; the next one is answered ``503 overloaded`` immediately
@@ -24,22 +29,27 @@ Design:
 * **Hot swaps drain, never break** — a query pins its dataset's
   service reference at admission; the swap replaces the reference for
   *later* requests only (:mod:`repro.server.registry`).
-* **Graceful shutdown** — :meth:`TransitServer.shutdown` stops
-  accepting, lets in-flight requests finish, flushes the executor's
-  micro-batch windows, then stops the pool.  ``repro serve`` wires
+* **Graceful shutdown distinguishes readiness from liveness** —
+  :meth:`~BaseAsyncHttpServer.begin_drain` flips ``/healthz`` to
+  ``"draining"`` while requests still succeed, so the fleet gateway
+  (or any LB) stops routing *before* the hard drain starts
+  fast-503ing; :meth:`~BaseAsyncHttpServer.shutdown` then waits out
+  ``drain_grace``, finishes in-flight requests, flushes the executor's
+  micro-batch windows, and stops the pool.  ``repro serve`` wires
   SIGINT/SIGTERM to exactly this path and exits 0.
 """
 
 from __future__ import annotations
 
-import asyncio
 import json
 import time
 
 from repro.server.executor import QueryExecutor
+from repro.server.http_base import MAX_BODY_BYTES, BaseAsyncHttpServer
 from repro.server.metrics import ServerMetrics
 from repro.server.protocol import (
     PROTOCOL_VERSION,
+    DelayCommand,
     ProtocolError,
     encode_batch,
     encode_journey,
@@ -49,29 +59,14 @@ from repro.server.protocol import (
     parse_journey_request,
     parse_profile_request,
 )
-from repro.server.registry import DatasetRegistry, RegistryError
+from repro.server.registry import DatasetRegistry, RegistryError, SwapStateError
 
-#: Request bodies above this are rejected with 413 before parsing.
-MAX_BODY_BYTES = 4 * 1024 * 1024
-
-#: Sentinel: the request declared a Content-Length over the cap and
-#: its body was never read off the socket.
-_BODY_TOO_LARGE = object()
+__all__ = ["MAX_BODY_BYTES", "TransitServer"]
 
 _QUERY_SHAPES = ("profile", "journey", "batch")
 
-_STATUS_TEXT = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    413: "Payload Too Large",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-}
 
-
-class TransitServer:
+class TransitServer(BaseAsyncHttpServer):
     """One listening socket over one :class:`DatasetRegistry`."""
 
     def __init__(
@@ -85,9 +80,11 @@ class TransitServer:
         batch_window: float = 0.002,
         batch_max: int = 8,
         retry_after: float = 1.0,
+        drain_grace: float = 0.0,
         executor: QueryExecutor | None = None,
         metrics: ServerMetrics | None = None,
     ) -> None:
+        super().__init__(host=host, port=port, drain_grace=drain_grace)
         if max_inflight < 1:
             raise ValueError(
                 f"max_inflight must be >= 1, got {max_inflight}"
@@ -97,8 +94,6 @@ class TransitServer:
                 f"retry_after must be non-negative, got {retry_after}"
             )
         self.registry = registry
-        self.host = host
-        self.port = port  # replaced by the bound port after start()
         self.max_inflight = max_inflight
         #: Backoff hint (seconds) sent as ``Retry-After`` on every
         #: retriable 503; cooperative clients (repro.client) honor it.
@@ -116,138 +111,9 @@ class TransitServer:
         )
         if self.executor.metrics is None:
             self.executor.metrics = self.metrics
-        self._server: asyncio.base_events.Server | None = None
-        self._inflight = 0
-        self._draining = False
-        #: Connections currently parked between requests (waiting in
-        #: readline); shutdown force-closes exactly these so idle
-        #: keep-alive clients cannot stall the drain.
-        self._idle_connections: set[asyncio.StreamWriter] = set()
 
-    # -- lifecycle ------------------------------------------------------
-
-    async def start(self) -> None:
-        """Bind and start accepting; ``self.port`` holds the bound
-        port afterwards (pass ``port=0`` for an ephemeral one)."""
-        self._server = await asyncio.start_server(
-            self._on_connection, self.host, self.port
-        )
-        self.port = self._server.sockets[0].getsockname()[1]
-
-    async def serve_forever(self) -> None:
-        assert self._server is not None, "start() first"
-        await self._server.serve_forever()
-
-    async def shutdown(self) -> None:
-        """Graceful drain: stop accepting, finish in-flight requests,
-        flush micro-batch windows, stop the worker pool.
-
-        Idle keep-alive connections are force-closed once the last
-        in-flight request finished — their handlers are parked in a
-        read that nothing else would ever wake, and (from Python
-        3.12.1) ``wait_closed`` waits for every handler to return.
-        Handlers that are mid-request finish their response first
-        (draining breaks their keep-alive loop)."""
-        self._draining = True
-        if self._server is not None:
-            self._server.close()
-        while self._inflight > 0:
-            await asyncio.sleep(0.005)
-        for writer in list(self._idle_connections):
-            writer.close()
-        if self._server is not None:
-            await self._server.wait_closed()
+    async def _post_drain(self) -> None:
         await self.executor.shutdown()
-
-    # -- connection handling -------------------------------------------
-
-    async def _on_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        try:
-            while True:
-                # Parked between requests: eligible for force-close by
-                # a draining shutdown.
-                self._idle_connections.add(writer)
-                try:
-                    request = await self._read_request(reader)
-                finally:
-                    self._idle_connections.discard(writer)
-                if request is None:
-                    break
-                method, path, headers, body = request
-                if body is _BODY_TOO_LARGE:
-                    status, payload, extra = 413, _error(
-                        "payload_too_large",
-                        f"request body exceeds {MAX_BODY_BYTES} bytes",
-                    ), {}
-                    # The oversized body was never read off the socket,
-                    # so the connection cannot be reused.
-                    keep_alive = False
-                else:
-                    status, payload, extra = await self._dispatch(
-                        method, path, headers, body
-                    )
-                    keep_alive = (
-                        headers.get("connection", "").lower() != "close"
-                        and not self._draining
-                    )
-                data = json.dumps(payload).encode("utf-8")
-                extra_lines = "".join(
-                    f"{name}: {value}\r\n" for name, value in extra.items()
-                )
-                head = (
-                    f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
-                    f"Content-Type: application/json\r\n"
-                    f"Content-Length: {len(data)}\r\n"
-                    f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-                    f"{extra_lines}"
-                    f"\r\n"
-                ).encode("latin-1")
-                writer.write(head + data)
-                await writer.drain()
-                if not keep_alive:
-                    break
-        except (
-            asyncio.IncompleteReadError,
-            ConnectionResetError,
-            BrokenPipeError,
-            ValueError,  # malformed request line / headers
-        ):
-            pass  # client went away or spoke garbage; just close
-        finally:
-            self._idle_connections.discard(writer)
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
-
-    async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> tuple[str, str, dict[str, str], bytes] | None:
-        """Parse one HTTP/1.1 request; ``None`` on a clean EOF.  An
-        oversized body is left unread and signalled with the
-        :data:`_BODY_TOO_LARGE` sentinel (answered 413 upstream)."""
-        line = await reader.readline()
-        if not line:
-            return None
-        parts = line.decode("latin-1").strip().split()
-        if len(parts) != 3:
-            raise asyncio.IncompleteReadError(line, None)
-        method, path, _version = parts
-        headers: dict[str, str] = {}
-        while True:
-            raw = await reader.readline()
-            if raw in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = raw.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
-        if length > MAX_BODY_BYTES:
-            return method, path, headers, _BODY_TOO_LARGE
-        body = await reader.readexactly(length) if length else b""
-        return method, path, headers, body
 
     # -- routing --------------------------------------------------------
 
@@ -272,6 +138,8 @@ class TransitServer:
             status, payload = exc.status, exc.payload()
         except RegistryError as exc:
             status, payload = 404, _error("unknown_dataset", str(exc))
+        except SwapStateError as exc:
+            status, payload = 409, _error("swap_conflict", str(exc))
         except ValueError as exc:
             # Domain validation the protocol layer cannot see (e.g.
             # Delay.from_stop past the train's run).
@@ -323,8 +191,13 @@ class TransitServer:
             _require_method(method, "GET")
             return 200, {
                 "v": PROTOCOL_VERSION,
-                "status": "draining" if self._draining else "ok",
+                "status": self.health_status,
+                "ready": self.health_status == "ok",
                 "datasets": self.registry.names(),
+                "generations": {
+                    entry.name: entry.generation
+                    for entry in self.registry.entries()
+                },
             }
 
         if parts == ["metrics"]:
@@ -364,7 +237,10 @@ class TransitServer:
     def _admit(self, endpoint: str) -> tuple[int, dict, dict] | None:
         """Admission control: fast 503 instead of an unbounded queue.
         Returns the rejection response (with its ``Retry-After``
-        backoff hint), or ``None`` when admitted."""
+        backoff hint), or ``None`` when admitted.  Note unreadiness
+        (``begin_drain``) does *not* reject — the grace window exists
+        precisely so requests still in flight from a router that has
+        not yet noticed keep succeeding."""
         if self._draining:
             self.metrics.observe_reject(endpoint)
             return 503, _error(
@@ -433,27 +309,78 @@ class TransitServer:
         self.metrics.inflight = self._inflight
         try:
             entry = self.registry.get(name)
-            delays, slack = parse_delay_request(
+            command = parse_delay_request(
                 _parse_body(body), entry.service.timetable.num_trains
             )
-            entry = await self.registry.apply_delays(
-                name,
-                delays,
-                slack_per_leg=slack,
-                run=self.executor.run,
-            )
-            self.metrics.observe_swap(name, entry.last_swap_seconds)
-            return 200, {
-                "v": PROTOCOL_VERSION,
-                "dataset": name,
-                "generation": entry.generation,
-                "num_delays": len(delays),
-                "slack_per_leg": slack,
-                "swap_seconds": round(entry.last_swap_seconds, 6),
-            }
+            if command.mode == "apply":
+                return 200, await self._swap_apply(name, command)
+            if command.mode == "prepare":
+                return 200, await self._swap_prepare(name, command)
+            if command.mode == "commit":
+                return 200, await self._swap_commit(name, command)
+            return 200, await self._swap_abort(name, command)
         finally:
             self._inflight -= 1
             self.metrics.inflight = self._inflight
+
+    async def _swap_apply(self, name: str, command: DelayCommand) -> dict:
+        entry = await self.registry.apply_delays(
+            name,
+            command.delays,
+            slack_per_leg=command.slack_per_leg,
+            run=self.executor.run,
+        )
+        self.metrics.observe_swap(name, entry.last_swap_seconds)
+        return {
+            "v": PROTOCOL_VERSION,
+            "dataset": name,
+            "mode": "apply",
+            "generation": entry.generation,
+            "num_delays": len(command.delays),
+            "slack_per_leg": command.slack_per_leg,
+            "swap_seconds": round(entry.last_swap_seconds, 6),
+        }
+
+    async def _swap_prepare(self, name: str, command: DelayCommand) -> dict:
+        token, seconds = await self.registry.prepare_delays(
+            name,
+            command.delays,
+            slack_per_leg=command.slack_per_leg,
+            run=self.executor.run,
+        )
+        entry = self.registry.get(name)
+        return {
+            "v": PROTOCOL_VERSION,
+            "dataset": name,
+            "mode": "prepare",
+            "token": token,
+            "base_generation": entry.generation,
+            "num_delays": len(command.delays),
+            "slack_per_leg": command.slack_per_leg,
+            "replan_seconds": round(seconds, 6),
+        }
+
+    async def _swap_commit(self, name: str, command: DelayCommand) -> dict:
+        entry = await self.registry.commit_prepared(name, command.token)
+        self.metrics.observe_swap(name, entry.last_swap_seconds)
+        return {
+            "v": PROTOCOL_VERSION,
+            "dataset": name,
+            "mode": "commit",
+            "token": command.token,
+            "generation": entry.generation,
+            "swap_seconds": round(entry.last_swap_seconds, 6),
+        }
+
+    async def _swap_abort(self, name: str, command: DelayCommand) -> dict:
+        discarded = await self.registry.abort_prepared(name, command.token)
+        return {
+            "v": PROTOCOL_VERSION,
+            "dataset": name,
+            "mode": "abort",
+            "token": command.token,
+            "discarded": discarded,
+        }
 
 
 def _parse_body(body: bytes) -> object:

@@ -34,6 +34,7 @@ usable by the server, by clients, and by tests.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.query.batch import BatchStats
@@ -179,8 +180,18 @@ def _station_field(
 _PROFILE_FIELDS = frozenset({"v", "source", "num_threads", "targets"})
 _JOURNEY_FIELDS = frozenset({"v", "source", "target", "departure"})
 _BATCH_FIELDS = frozenset({"v", "journeys", "profiles"})
-_DELAY_FIELDS = frozenset({"v", "delays", "slack_per_leg"})
+_DELAY_FIELDS = frozenset({"v", "delays", "slack_per_leg", "mode", "token"})
 _DELAY_ITEM_FIELDS = frozenset({"train", "minutes", "from_stop"})
+
+#: Hot-swap phases on ``POST /v1/datasets/{name}/delays``.  ``apply``
+#: (the default, and the whole protocol before two-phase swaps)
+#: replans and swaps in one request.  ``prepare`` replans but keeps
+#: serving the old timetable, answering with a ``token``; ``commit``
+#: atomically swaps a prepared replan in; ``abort`` discards it.  The
+#: fleet gateway drives prepare-on-all → commit-on-all so no client
+#: ever observes a mixed old/new answer across workers
+#: (``docs/FLEET.md``).
+DELAY_MODES = ("apply", "prepare", "commit", "abort")
 
 
 def parse_profile_request(
@@ -302,10 +313,22 @@ def _item_list(obj: dict, name: str) -> list:
     return raw
 
 
-def parse_delay_request(
-    body: object, num_trains: int
-) -> tuple[list[Delay], int]:
-    """Parse a hot-swap request into ``(delays, slack_per_leg)``.
+@dataclass(frozen=True, slots=True)
+class DelayCommand:
+    """One parsed ``/delays`` request: a swap phase plus its input.
+
+    ``apply``/``prepare`` carry the delay batch (``delays`` non-empty,
+    ``token`` ``None``); ``commit``/``abort`` carry only the ``token``
+    a prior ``prepare`` answered with (``delays`` empty)."""
+
+    mode: str
+    delays: tuple[Delay, ...]
+    slack_per_leg: int
+    token: int | None
+
+
+def parse_delay_request(body: object, num_trains: int) -> DelayCommand:
+    """Parse a hot-swap request into a :class:`DelayCommand`.
 
     ``from_stop`` bounds depend on each train's run length, which only
     ``apply_delays`` knows — the registry surfaces its ``ValueError``
@@ -313,6 +336,34 @@ def parse_delay_request(
     obj = _require_object(body)
     _check_version(obj)
     _reject_unknown(obj, _DELAY_FIELDS, where="delay request")
+    mode = obj.get("mode", "apply")
+    if mode not in DELAY_MODES:
+        raise ProtocolError(
+            "invalid_request",
+            f"delay request mode must be one of {list(DELAY_MODES)}, "
+            f"got {mode!r}",
+            field="mode",
+        )
+    if mode in ("commit", "abort"):
+        for name in ("delays", "slack_per_leg"):
+            if name in obj:
+                raise ProtocolError(
+                    "invalid_request",
+                    f"a {mode} request must not carry {name!r} "
+                    f"(the prepared replan already holds them)",
+                    field=name,
+                )
+        token = _int_field(
+            obj, "token", where=f"{mode} request", required=True, lo=0
+        )
+        return DelayCommand(mode=mode, delays=(), slack_per_leg=0, token=token)
+    if "token" in obj:
+        raise ProtocolError(
+            "invalid_request",
+            f"an {mode} request must not carry 'token' "
+            f"(tokens are answered by prepare)",
+            field="token",
+        )
     raw = obj.get("delays")
     if not isinstance(raw, list) or not raw:
         raise ProtocolError(
@@ -338,7 +389,9 @@ def parse_delay_request(
             sub, "from_stop", where=f"delays[{i}]", default=0, lo=0
         )
         delays.append(Delay(train=train, minutes=minutes, from_stop=from_stop))
-    return delays, slack
+    return DelayCommand(
+        mode=mode, delays=tuple(delays), slack_per_leg=slack, token=None
+    )
 
 
 # ---------------------------------------------------------------------------

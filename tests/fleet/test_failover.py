@@ -1,0 +1,83 @@
+"""The failover satellite: SIGKILL a worker under closed-loop client
+traffic and demand *zero* failed requests — the gateway must absorb
+the crash (eject + retry-on-peer), report it in ``/metrics``, and
+readmit the worker once the supervisor has respawned it."""
+
+from __future__ import annotations
+
+import threading
+
+from tests.fleet.harness import http_json
+
+
+class TestFailover:
+    def test_sigkill_under_load_loses_no_requests(self, make_fleet):
+        fleet = make_fleet(2)
+        failures: list[tuple[int, bytes]] = []
+        lock = threading.Lock()
+        stop = threading.Event()
+        counts = [0] * 8
+
+        def _client(slot: int) -> None:
+            i = 0
+            while not stop.is_set():
+                body = {
+                    "source": (slot + i) % 12,
+                    "target": (slot + i + 5) % 12,
+                    "departure": 60 * (i % 18),
+                }
+                status, raw = http_json(
+                    fleet.port, "POST", "/v1/oahu/journey", body
+                )
+                if status != 200:
+                    with lock:
+                        failures.append((status, raw[:400]))
+                counts[slot] += 1
+                i += 1
+
+        threads = [
+            threading.Thread(target=_client, args=(slot,), daemon=True)
+            for slot in range(len(counts))
+        ]
+        for t in threads:
+            t.start()
+        try:
+            # Let traffic establish on both workers, then pull the rug.
+            deadline_wait = threading.Event()
+            deadline_wait.wait(0.5)
+            fleet.supervisor.kill("w0")
+            # Keep the closed loop running across the crash window —
+            # ejection, respawn, catch-up, readmission all happen
+            # underneath live traffic.
+            fleet.wait_worker_down("w0", timeout=30)
+            fleet.wait_worker_healthy("w0", timeout=90)
+            deadline_wait.wait(0.5)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=30)
+
+        assert not failures, f"client-visible failures: {failures[:5]}"
+        assert sum(counts) > 50, "closed loop barely ran"
+
+        _, metrics = fleet.request("GET", "/metrics")
+        gw = metrics["gateway"]
+        # The crash was observed: w0 was ejected and later readmitted;
+        # at least one in-flight request was retried on the peer.
+        assert gw["ejections_total"].get("w0", 0) >= 1
+        assert gw["readmissions_total"].get("w0", 0) >= 1
+        assert gw["failovers_total"] >= 1
+        assert fleet.supervisor.restarts_total >= 1
+
+        # And the healed fleet serves from both workers again.
+        before = dict(gw["forwards_total"])
+        for i in range(8):
+            status, _ = fleet.request(
+                "POST", "/v1/oahu/journey",
+                {"source": i, "target": (i + 3) % 12},
+            )
+            assert status == 200
+        _, metrics = fleet.request("GET", "/metrics")
+        after = metrics["gateway"]["forwards_total"]
+        assert after.get("w0", 0) > before.get("w0", 0)
+        assert after.get("w1", 0) > before.get("w1", 0)

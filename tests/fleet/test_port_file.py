@@ -1,0 +1,110 @@
+"""The ``--port 0`` + ``--port-file`` satellite: ephemeral ports end
+the port-collision race, and the atomically-written port file makes
+the bound port machine-discoverable (the supervisor's mechanism),
+tested here at the CLI boundary the supervisor actually uses."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _serve(store, port_file, *extra) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--store", str(store),
+            "--port", "0",
+            "--port-file", str(port_file),
+            "--workers", "2",
+            *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+    )
+
+
+def _await_port(port_file: Path, process, timeout: float = 90.0) -> int:
+    deadline = time.monotonic() + timeout
+    while True:
+        if process.poll() is not None:
+            out = process.stdout.read()
+            raise AssertionError(
+                f"serve exited early ({process.returncode}): {out[-800:]}"
+            )
+        try:
+            # Atomic write: the file either does not exist or holds a
+            # complete port — a partial read must be impossible.
+            return int(port_file.read_text().strip())
+        except (OSError, ValueError):
+            pass
+        if time.monotonic() > deadline:
+            raise AssertionError("port file never appeared")
+        time.sleep(0.05)
+
+
+def _healthz(port: int) -> dict:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("GET", "/healthz")
+        return json.loads(conn.getresponse().read())
+    finally:
+        conn.close()
+
+
+@pytest.fixture()
+def serve_proc(fleet_store, tmp_path):
+    procs = []
+
+    def _spawn(*extra) -> tuple[subprocess.Popen, Path]:
+        port_file = tmp_path / f"serve-{len(procs)}.port"
+        proc = _serve(fleet_store, port_file, *extra)
+        procs.append(proc)
+        return proc, port_file
+
+    yield _spawn
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+class TestPortFile:
+    def test_port_file_matches_bound_port(self, serve_proc):
+        proc, port_file = serve_proc()
+        port = _await_port(port_file, proc)
+        assert port > 0
+        health = _healthz(port)
+        assert health["status"] == "ok" and health["datasets"] == ["oahu"]
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+        out = proc.stdout.read()
+        # The human-readable log line and the machine-readable file
+        # must name the same port.
+        assert f"listening on http://127.0.0.1:{port}" in out
+
+    def test_two_ephemeral_servers_never_collide(self, serve_proc):
+        proc_a, file_a = serve_proc()
+        proc_b, file_b = serve_proc()
+        port_a = _await_port(file_a, proc_a)
+        port_b = _await_port(file_b, proc_b)
+        assert port_a != port_b
+        assert _healthz(port_a)["status"] == "ok"
+        assert _healthz(port_b)["status"] == "ok"
+        for proc in (proc_a, proc_b):
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0

@@ -175,7 +175,7 @@ class TestParseBatch:
 
 class TestParseDelays:
     def test_roundtrip(self):
-        delays, slack = parse_delay_request(
+        command = parse_delay_request(
             {
                 "delays": [
                     {"train": 0, "minutes": 10},
@@ -185,11 +185,55 @@ class TestParseDelays:
             },
             TRAINS,
         )
-        assert delays == [
+        assert command.delays == (
             Delay(train=0, minutes=10),
             Delay(train=4, minutes=5, from_stop=1),
-        ]
-        assert slack == 2
+        )
+        assert command.slack_per_leg == 2
+        assert command.mode == "apply" and command.token is None
+
+    def test_two_phase_modes(self):
+        prepare = parse_delay_request(
+            {"mode": "prepare", "delays": [{"train": 0, "minutes": 3}]},
+            TRAINS,
+        )
+        assert prepare.mode == "prepare" and prepare.token is None
+        commit = parse_delay_request({"mode": "commit", "token": 7}, TRAINS)
+        assert commit.mode == "commit" and commit.token == 7
+        assert commit.delays == ()
+        abort = parse_delay_request({"mode": "abort", "token": 7}, TRAINS)
+        assert abort.mode == "abort" and abort.token == 7
+
+    def test_two_phase_rejections(self):
+        # An unknown phase name.
+        assert (
+            err(parse_delay_request, {"mode": "merge", "token": 1}, TRAINS).code
+            == "invalid_request"
+        )
+        # commit/abort must not re-send the batch...
+        assert (
+            err(
+                parse_delay_request,
+                {"mode": "commit", "token": 1,
+                 "delays": [{"train": 0, "minutes": 1}]},
+                TRAINS,
+            ).code
+            == "invalid_request"
+        )
+        # ...and need their token.
+        assert (
+            err(parse_delay_request, {"mode": "commit"}, TRAINS).code
+            == "missing_field"
+        )
+        # apply/prepare carry delays, never a token.
+        assert (
+            err(
+                parse_delay_request,
+                {"delays": [{"train": 0, "minutes": 1}], "token": 3},
+                TRAINS,
+            ).code
+            == "invalid_request"
+        )
 
     def test_rejections(self):
         assert (

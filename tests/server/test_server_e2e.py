@@ -18,6 +18,7 @@ The acceptance bars of the serving subsystem:
 
 from __future__ import annotations
 
+import asyncio
 import json
 import threading
 import time
@@ -49,6 +50,11 @@ def scrubbed(payload):
 
 
 NUM_STATIONS = 12  # oahu tiny
+
+
+async def _call_soon(fn):
+    """Run a sync callable on the server's event loop."""
+    return fn()
 
 
 class TestParity:
@@ -254,6 +260,107 @@ class TestHotSwap:
         metrics = harness.request("GET", "/metrics")[1]
         assert metrics["swaps_total"] == {"oahu": 1}
 
+    def test_two_phase_prepare_then_commit(self, harness, make_service):
+        """The fleet gateway's worker-facing protocol: ``prepare``
+        replans off to the side (answers unchanged), ``commit`` makes
+        the pointer swap, and a prepare invalidated by an interleaved
+        apply is refused with 409 instead of committing a stale plan."""
+        before = harness.request(
+            "POST", "/v1/oahu/journey", {"source": 2, "target": 5}
+        )[1]
+
+        status, prep = harness.request(
+            "POST",
+            "/v1/datasets/oahu/delays",
+            {**self.DELAYS, "mode": "prepare"},
+        )
+        assert status == 200 and prep["mode"] == "prepare"
+        assert prep["base_generation"] == 0
+        assert prep["replan_seconds"] > 0
+        token = prep["token"]
+
+        # The expensive replan already happened, yet nothing changed
+        # for clients: same answers, same generation.
+        mid = harness.request(
+            "POST", "/v1/oahu/journey", {"source": 2, "target": 5}
+        )[1]
+        assert mid["profile"] == before["profile"]
+        listed = harness.request("GET", "/v1/datasets")[1]["datasets"]
+        assert listed[0]["generation"] == 0
+
+        status, commit = harness.request(
+            "POST",
+            "/v1/datasets/oahu/delays",
+            {"mode": "commit", "token": token},
+        )
+        assert status == 200 and commit["generation"] == 1
+        # Commit swaps a pointer and books the prepare's replan time
+        # as the swap cost (the work happened there, off to the side).
+        assert commit["swap_seconds"] == prep["replan_seconds"]
+
+        after = harness.request(
+            "POST", "/v1/oahu/journey", {"source": 2, "target": 5}
+        )[1]
+        cold = make_service().apply_delays([Delay(train=0, minutes=45)])
+        assert scrubbed(after) == scrubbed(encode_journey(cold.journey(2, 5)))
+
+        # A consumed token cannot commit twice.
+        status, payload = harness.request(
+            "POST",
+            "/v1/datasets/oahu/delays",
+            {"mode": "commit", "token": token},
+        )
+        assert status == 409
+        assert payload["error"]["code"] == "swap_conflict"
+
+    def test_prepare_invalidated_by_interleaved_apply(self, harness):
+        status, prep = harness.request(
+            "POST",
+            "/v1/datasets/oahu/delays",
+            {**self.DELAYS, "mode": "prepare"},
+        )
+        assert status == 200
+        # An apply lands between prepare and commit: the prepared plan
+        # was computed against generation 0 and must not commit.
+        status, _ = harness.request(
+            "POST",
+            "/v1/datasets/oahu/delays",
+            {"delays": [{"train": 1, "minutes": 5}]},
+        )
+        assert status == 200
+        status, payload = harness.request(
+            "POST",
+            "/v1/datasets/oahu/delays",
+            {"mode": "commit", "token": prep["token"]},
+        )
+        assert status == 409
+        assert payload["error"]["code"] == "swap_conflict"
+        listed = harness.request("GET", "/v1/datasets")[1]["datasets"]
+        assert listed[0]["generation"] == 1  # only the apply landed
+
+    def test_abort_discards_prepared_swap(self, harness):
+        status, prep = harness.request(
+            "POST",
+            "/v1/datasets/oahu/delays",
+            {**self.DELAYS, "mode": "prepare"},
+        )
+        assert status == 200
+        status, aborted = harness.request(
+            "POST",
+            "/v1/datasets/oahu/delays",
+            {"mode": "abort", "token": prep["token"]},
+        )
+        assert status == 200 and aborted["discarded"] is True
+        # Nothing swapped; the token is dead.
+        listed = harness.request("GET", "/v1/datasets")[1]["datasets"]
+        assert listed[0]["generation"] == 0
+        status, payload = harness.request(
+            "POST",
+            "/v1/datasets/oahu/delays",
+            {"mode": "commit", "token": prep["token"]},
+        )
+        assert status == 409
+
     def test_swap_validation_errors_are_client_errors(self, harness):
         status, payload = harness.request(
             "POST",
@@ -341,6 +448,31 @@ class TestOverloadAndDrain:
         harness.close()  # graceful drain must flush and answer it
         t.join(timeout=60)
         assert outcome and outcome[0][0] == 200
+
+    def test_begin_drain_flips_readiness_before_rejecting(
+        self, make_service
+    ):
+        """Readiness vs liveness (``docs/SERVER.md``): ``begin_drain``
+        makes ``/healthz`` report "draining" while queries still get
+        full answers — the window in which load balancers stop routing
+        *before* any client ever sees a 503.  Only the hard drain
+        (``shutdown``) starts rejecting."""
+        registry = DatasetRegistry.from_services({"oahu": make_service()})
+        harness = ServerHarness(registry, drain_grace=0.2)
+        try:
+            asyncio.run_coroutine_threadsafe(
+                _call_soon(harness.server.begin_drain), harness.loop
+            ).result(timeout=10)
+            health = harness.request("GET", "/healthz")[1]
+            assert health["status"] == "draining"
+            assert health["ready"] is False
+            # Not-ready ≠ not-serving: queries still succeed.
+            status, payload = harness.request(
+                "POST", "/v1/oahu/journey", {"source": 0, "target": 5}
+            )
+            assert status == 200 and payload["kind"] == "journey"
+        finally:
+            harness.close()
 
     def test_draining_server_rejects_new_queries(self, make_service):
         registry = DatasetRegistry.from_services({"oahu": make_service()})
@@ -455,7 +587,13 @@ class TestHttpErrors:
     def test_listing_and_health(self, harness):
         status, health = harness.request("GET", "/healthz")
         assert status == 200
-        assert health == {"v": 1, "status": "ok", "datasets": ["oahu"]}
+        assert health == {
+            "v": 1,
+            "status": "ok",
+            "ready": True,
+            "datasets": ["oahu"],
+            "generations": {"oahu": 0},
+        }
         listed = harness.request("GET", "/v1/datasets")[1]["datasets"]
         assert listed[0]["name"] == "oahu"
         assert listed[0]["stations"] == NUM_STATIONS
