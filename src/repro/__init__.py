@@ -128,7 +128,7 @@ from repro.client import (
 )
 from repro.synthetic import make_instance
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Connection",

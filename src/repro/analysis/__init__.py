@@ -1,8 +1,15 @@
-"""Experiment harness: runners regenerating every table/figure of the
-paper's evaluation (§5) plus formatting helpers.
+"""Analysis tooling: the experiment harness and the static-analysis
+suite.
 
-The runners return plain dataclasses so benchmarks, the CLI and the
-EXPERIMENTS.md generator share one implementation.
+The *experiment harness* (:mod:`repro.analysis.runners`,
+:mod:`repro.analysis.formatting`) regenerates every table/figure of
+the paper's evaluation (§5); the runners return plain dataclasses so
+benchmarks, the CLI and the EXPERIMENTS.md generator share one
+implementation.
+
+The *static-analysis suite* (:mod:`repro.analysis.lint`, CLI
+``repro lint``) machine-checks the repo's concurrency, wire-schema and
+export invariants — see docs/ANALYSIS.md.
 """
 
 from repro.analysis.runners import (
@@ -14,6 +21,14 @@ from repro.analysis.runners import (
     run_table2,
 )
 from repro.analysis.formatting import format_table, render_table1, render_table2
+from repro.analysis.lint import (
+    Finding,
+    LintConfig,
+    LintReport,
+    Project,
+    default_config,
+    run_lint,
+)
 
 __all__ = [
     "OneToAllCell",
@@ -25,4 +40,10 @@ __all__ = [
     "format_table",
     "render_table1",
     "render_table2",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "Project",
+    "default_config",
+    "run_lint",
 ]

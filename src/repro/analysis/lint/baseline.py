@@ -1,0 +1,97 @@
+"""Committed-baseline support.
+
+A baseline is a JSON file of finding fingerprints that are *accepted*:
+``repro lint`` exits 0 when every current finding is baselined, and
+reports baseline entries that no longer fire (stale entries should be
+deleted, keeping the accepted debt honest).  Fingerprints are
+line-independent (:meth:`Finding.fingerprint`), so unrelated edits do
+not churn the file.
+
+This repo's policy (docs/ANALYSIS.md) is an **empty** baseline — true
+positives get fixed, deliberate exceptions get an inline
+``# lint: disable=RULE — reason`` — but the mechanism exists so a
+future large-scale rule rollout can land incrementally.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.lint.model import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """A baseline file that is unreadable or structurally invalid."""
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """Fingerprints accepted by the baseline at ``path``."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != BASELINE_VERSION
+        or not isinstance(payload.get("findings"), list)
+    ):
+        raise BaselineError(
+            f"baseline {path} must be "
+            f'{{"version": {BASELINE_VERSION}, "findings": [...]}}'
+        )
+    fingerprints = set()
+    for entry in payload["findings"]:
+        if isinstance(entry, str):
+            fingerprints.add(entry)
+        elif isinstance(entry, dict) and isinstance(entry.get("fingerprint"), str):
+            fingerprints.add(entry["fingerprint"])
+        else:
+            raise BaselineError(
+                f"baseline {path}: each finding must be a fingerprint string "
+                f"or an object with a 'fingerprint' key, got {entry!r}"
+            )
+    return fingerprints
+
+
+def write_baseline(findings: list[Finding], path: str | Path) -> None:
+    """Write ``findings`` as the new accepted baseline (sorted, one
+    object per finding so reviews can see what debt was admitted)."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "fingerprint": f.fingerprint(),
+                "rule": f.rule,
+                "path": f.path,
+                "symbol": f.symbol,
+            }
+            for f in sorted(findings)
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def split_by_baseline(
+    findings: list[Finding], accepted: set[str]
+) -> tuple[list[Finding], list[Finding], set[str]]:
+    """Partition into (new, baselined) findings plus the stale
+    fingerprints that no longer correspond to any finding."""
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    seen: set[str] = set()
+    for finding in findings:
+        fp = finding.fingerprint()
+        if fp in accepted:
+            baselined.append(finding)
+            seen.add(fp)
+        else:
+            new.append(finding)
+    return new, baselined, accepted - seen

@@ -1,0 +1,75 @@
+"""The lint engine: run rules over a project, honour suppressions.
+
+An inline suppression is a comment on the finding line (or the line
+directly above it) of the form::
+
+    # lint: disable=RULE-NAME — short justification
+    # lint: disable=RULE-A,RULE-B
+
+Suppressions are the per-finding escape hatch for *deliberate*
+exceptions (e.g. a lock-free read that is safe because it happens on
+the owning event loop); the justification travels with the code, so
+``repro lint`` stays exit-0 without a baseline entry.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.lint.config import LintConfig
+from repro.analysis.lint.model import Finding
+from repro.analysis.lint.project import Project
+from repro.analysis.lint.registry import Rule, get_rules
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_\-, ]+)")
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    rules_run: list[str] = field(default_factory=list)
+
+
+def suppressed_rules_at(project: Project, path: str, line: int) -> set[str]:
+    """Rule names disabled at ``path:line`` by an inline comment on
+    that line or the line above."""
+    lines = project.lines(path)
+    disabled: set[str] = set()
+    for lineno in (line, line - 1):
+        if 1 <= lineno <= len(lines):
+            match = _SUPPRESS_RE.search(lines[lineno - 1])
+            if match:
+                disabled.update(
+                    name.strip() for name in match.group(1).split(",") if name.strip()
+                )
+    return disabled
+
+
+def run_lint(
+    project: Project,
+    config: LintConfig | None = None,
+    rule_names: list[str] | None = None,
+) -> LintReport:
+    """Run the (selected) rules and return sorted, suppression-filtered
+    findings.  Parse failures surface as PARSE-ERROR findings so a
+    broken file cannot silently disable the rules that would have
+    inspected it."""
+    from repro.analysis.lint.config import default_config
+
+    config = config or default_config()
+    rules: list[Rule] = get_rules(rule_names)
+    report = LintReport(rules_run=[rule.NAME for rule in rules])
+    raw: list[Finding] = []
+    for rule in rules:
+        raw.extend(rule.run(project, config))
+    raw.extend(project.parse_failures)
+    for finding in sorted(set(raw)):
+        if finding.rule in suppressed_rules_at(project, finding.path, finding.line):
+            report.suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+    return report

@@ -1,0 +1,45 @@
+"""Finding model shared by every lint rule.
+
+A :class:`Finding` is one rule violation anchored to ``file:line``.
+Findings carry a *symbol* — a rule-chosen stable identifier (function
+name, attribute, metric name …) — so that :meth:`Finding.fingerprint`
+stays line-independent: a committed baseline keeps matching after
+unrelated edits shift line numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at ``path:line``.
+
+    ``symbol`` identifies *what* is in violation independent of where
+    it currently sits in the file (used for baseline fingerprints);
+    ``message`` is the human-readable explanation.
+    """
+
+    path: str
+    line: int
+    rule: str
+    symbol: str = ""
+    message: str = ""
+
+    def fingerprint(self) -> str:
+        """Line-independent identity used by the committed baseline."""
+        return f"{self.rule}::{self.path}::{self.symbol}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }

@@ -1,0 +1,92 @@
+"""Filesystem + AST view of the repository under analysis.
+
+:class:`Project` is the one object rules receive: it resolves paths
+relative to a root, parses Python sources once (cached), and walks
+configured subtrees.  Everything degrades gracefully — a configured
+file that does not exist is skipped (so the same default config runs
+over the real repo *and* over the miniature fixture repos in
+``tests/analysis/fixtures/``), while a file that exists but does not
+parse is surfaced as a :data:`PARSE_ERROR_RULE` finding instead of
+crashing the run.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.lint.model import Finding
+
+PARSE_ERROR_RULE = "PARSE-ERROR"
+
+
+class Project:
+    """Root directory plus cached source/AST access for lint rules."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root).resolve()
+        self._sources: dict[str, str | None] = {}
+        self._trees: dict[str, ast.Module | None] = {}
+        #: Files that failed :func:`ast.parse`, as findings.
+        self.parse_failures: list[Finding] = []
+
+    # -- paths ----------------------------------------------------------
+
+    def rel(self, path: str | Path) -> str:
+        """Normalise ``path`` to a posix path relative to the root."""
+        p = Path(path)
+        if p.is_absolute():
+            p = p.relative_to(self.root)
+        return p.as_posix()
+
+    def exists(self, relpath: str) -> bool:
+        return (self.root / relpath).is_file()
+
+    def iter_python(self, prefix: str) -> Iterator[str]:
+        """Yield every ``.py`` file under ``prefix`` (sorted, posix,
+        relative).  A missing prefix yields nothing."""
+        base = self.root / prefix
+        if not base.is_dir():
+            return
+        for path in sorted(base.rglob("*.py")):
+            yield path.relative_to(self.root).as_posix()
+
+    # -- content --------------------------------------------------------
+
+    def source(self, relpath: str) -> str | None:
+        """File contents, or ``None`` when the file is absent."""
+        if relpath not in self._sources:
+            full = self.root / relpath
+            try:
+                self._sources[relpath] = full.read_text(encoding="utf-8")
+            except OSError:
+                self._sources[relpath] = None
+        return self._sources[relpath]
+
+    def lines(self, relpath: str) -> list[str]:
+        source = self.source(relpath)
+        return source.splitlines() if source is not None else []
+
+    def tree(self, relpath: str) -> ast.Module | None:
+        """Parsed AST, or ``None`` when absent or unparsable.  A parse
+        failure is recorded once in :attr:`parse_failures`."""
+        if relpath not in self._trees:
+            source = self.source(relpath)
+            if source is None:
+                self._trees[relpath] = None
+            else:
+                try:
+                    self._trees[relpath] = ast.parse(source, filename=relpath)
+                except SyntaxError as exc:
+                    self._trees[relpath] = None
+                    self.parse_failures.append(
+                        Finding(
+                            path=relpath,
+                            line=exc.lineno or 1,
+                            rule=PARSE_ERROR_RULE,
+                            symbol="syntax",
+                            message=f"file does not parse: {exc.msg}",
+                        )
+                    )
+        return self._trees[relpath]

@@ -1,0 +1,76 @@
+"""Rule registry: name → rule class.
+
+Rules self-register at import time via :func:`register`; the CLI and
+engine resolve them by name through :func:`get_rules`.  A rule is any
+class with ``NAME``/``DESCRIPTION`` class attributes and a
+``run(project, config) -> list[Finding]`` method — the registry keeps
+the framework open for repo-specific additions without touching the
+engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, Type
+
+from repro.analysis.lint.config import LintConfig
+from repro.analysis.lint.model import Finding
+from repro.analysis.lint.project import Project
+
+
+class Rule(Protocol):
+    """Structural interface every lint rule satisfies."""
+
+    NAME: str
+    DESCRIPTION: str
+
+    def run(self, project: Project, config: LintConfig) -> list[Finding]:
+        ...
+
+
+_RULES: dict[str, Type] = {}
+
+
+def register(cls: Type) -> Type:
+    """Class decorator adding ``cls`` to the registry (keyed by its
+    ``NAME``).  Re-registering a name is a programming error."""
+    name = cls.NAME
+    if name in _RULES and _RULES[name] is not cls:
+        raise ValueError(f"lint rule {name!r} is already registered")
+    _RULES[name] = cls
+    return cls
+
+
+def rule_names() -> list[str]:
+    _ensure_builtin_rules()
+    return sorted(_RULES)
+
+
+def get_rules(names: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate the named rules (all registered rules when
+    ``names`` is ``None``).  Unknown names raise ``KeyError`` with the
+    known set in the message."""
+    _ensure_builtin_rules()
+    if names is None:
+        selected = sorted(_RULES)
+    else:
+        selected = list(names)
+    rules = []
+    for name in selected:
+        if name not in _RULES:
+            raise KeyError(
+                f"unknown lint rule {name!r} (known: {', '.join(sorted(_RULES))})"
+            )
+        rules.append(_RULES[name]())
+    return rules
+
+
+def describe_rules() -> list[tuple[str, str]]:
+    """(name, description) for every registered rule, sorted."""
+    _ensure_builtin_rules()
+    return [(name, _RULES[name].DESCRIPTION) for name in sorted(_RULES)]
+
+
+def _ensure_builtin_rules() -> None:
+    """Import the built-in rule modules so their ``@register``
+    decorators have run (idempotent)."""
+    from repro.analysis.lint import rules  # noqa: F401

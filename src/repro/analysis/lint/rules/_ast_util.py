@@ -1,0 +1,189 @@
+"""Small AST helpers shared by the built-in rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name → fully-qualified name, from every import statement.
+
+    ``import subprocess as sp`` → ``{"sp": "subprocess"}``;
+    ``from time import sleep as nap`` → ``{"nap": "time.sleep"}``.
+    Relative imports keep their bare module path (good enough for
+    matching the stdlib blocking set, which is always absolute).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                full = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = full
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def resolve_call_target(call: ast.Call, aliases: dict[str, str]) -> str | None:
+    """Fully-qualified name of the callee, import aliases applied.
+
+    A dotted callee whose head is *not* an import of this module
+    resolves to ``None``: ``requests.get(...)`` on a local dict named
+    ``requests`` must not match the ``requests`` HTTP library.  Bare
+    names pass through (builtins like ``open``, from-imports resolve
+    via the alias map)."""
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    if head in aliases:
+        resolved = aliases[head]
+        return f"{resolved}.{rest}" if rest else resolved
+    return None if rest else name
+
+
+def iter_direct_calls(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.Call]:
+    """Calls lexically inside ``func``'s own body — nested ``def``s,
+    ``async def``s and ``lambda``s are *not* descended into, so a bare
+    callable handed to ``run_in_executor`` never counts as a call made
+    by the enclosing coroutine."""
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def module_functions(
+    tree: ast.Module,
+) -> dict[str, ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function/method in the module, keyed by bare name (last
+    definition wins — rules use this for conservative name-based call
+    resolution within one module)."""
+    functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions[node.name] = node
+    return functions
+
+
+def find_function(
+    tree: ast.Module, name: str
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    """First function or method named ``name`` anywhere in the module."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name == name:
+                return node
+    return None
+
+
+def literal_dict_keys(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, int]:
+    """String keys produced by ``func``: dict-literal keys, ``dict(k=…)``
+    keywords, and ``obj["k"] = …`` subscript assignments — each mapped
+    to the line it first appears on."""
+    keys: dict[str, int] = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.setdefault(key.value, key.lineno)
+        elif isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id == "dict":
+                for kw in node.keywords:
+                    if kw.arg is not None:
+                        keys.setdefault(kw.arg, node.lineno)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    keys.setdefault(target.slice.value, target.lineno)
+    return keys
+
+
+def read_dict_keys(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, int]:
+    """String keys ``func`` reads: ``obj["k"]`` subscript loads and
+    ``obj.get("k", …)`` calls, mapped to first line of use."""
+    keys: dict[str, int] = {}
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.ctx, ast.Load)
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            keys.setdefault(node.slice.value, node.lineno)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            keys.setdefault(node.args[0].value, node.lineno)
+    return keys
+
+
+def set_constant(tree: ast.Module, name: str) -> tuple[set[str], int] | None:
+    """Value of a module-level ``NAME = {"a", "b"}`` / ``frozenset({…})``
+    string-set constant, plus its line — ``None`` if absent or not a
+    literal string set."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == name for t in node.targets
+        ):
+            continue
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "frozenset"
+            and len(value.args) == 1
+        ):
+            value = value.args[0]
+        if isinstance(value, ast.Set):
+            items = set()
+            for elt in value.elts:
+                if not (
+                    isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                ):
+                    return None
+                items.add(elt.value)
+            return items, node.lineno
+    return None

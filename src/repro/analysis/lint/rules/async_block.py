@@ -1,0 +1,119 @@
+"""ASYNC-BLOCK — no blocking calls reachable from ``async def``.
+
+The server and fleet run on a single event loop; one ``time.sleep`` or
+``subprocess.run`` on that loop stalls every in-flight request.  This
+rule resolves import aliases, then walks a conservative *module-local
+call graph*: a coroutine is flagged both for blocking calls in its own
+body and for blocking calls in any sync helper it (transitively)
+invokes from the loop.
+
+Only ``Call`` nodes create edges/findings, so the sanctioned escape
+hatch — handing a bare callable or ``lambda`` to
+``loop.run_in_executor(...)`` — is naturally exempt: the blocking call
+happens on a worker thread, and neither a bare reference nor a lambda
+body is a call made *by* the coroutine.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.config import LintConfig
+from repro.analysis.lint.model import Finding
+from repro.analysis.lint.project import Project
+from repro.analysis.lint.registry import register
+from repro.analysis.lint.rules._ast_util import (
+    import_aliases,
+    iter_direct_calls,
+    module_functions,
+    resolve_call_target,
+)
+
+
+@register
+class AsyncBlockRule:
+    NAME = "ASYNC-BLOCK"
+    DESCRIPTION = (
+        "No time.sleep/subprocess/blocking-socket calls reachable from "
+        "async def bodies in the event-loop subtrees (server/, fleet/)."
+    )
+
+    def run(self, project: Project, config: LintConfig) -> list[Finding]:
+        findings: list[Finding] = []
+        cfg = config.async_block
+        for root in cfg.roots:
+            for relpath in project.iter_python(root):
+                findings.extend(self._check_module(project, relpath, cfg))
+        return findings
+
+    def _check_module(self, project, relpath, cfg) -> list[Finding]:
+        tree = project.tree(relpath)
+        if tree is None:
+            return []
+        aliases = import_aliases(tree)
+        functions = module_functions(tree)
+
+        # Per function: the blocking calls it makes directly, and the
+        # module-local functions it calls by name.
+        blocking: dict[str, list[tuple[int, str]]] = {}
+        callees: dict[str, set[str]] = {}
+        for name, func in functions.items():
+            blocking[name] = []
+            callees[name] = set()
+            for call in iter_direct_calls(func):
+                target = resolve_call_target(call, aliases)
+                if target in cfg.blocking_calls:
+                    blocking[name].append((call.lineno, target))
+                local = self._local_callee(call, functions)
+                if local is not None:
+                    callees[name].add(local)
+
+        findings: list[Finding] = []
+        for name, func in functions.items():
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for reached in self._reachable(name, callees):
+                for lineno, target in blocking[reached]:
+                    via = "" if reached == name else f" (via `{reached}`)"
+                    findings.append(
+                        Finding(
+                            path=relpath,
+                            line=lineno,
+                            rule=self.NAME,
+                            symbol=f"{name}->{target}@{reached}",
+                            message=(
+                                f"blocking call `{target}` is reachable from "
+                                f"`async def {name}`{via}; move it behind "
+                                f"run_in_executor or use the asyncio equivalent"
+                            ),
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _local_callee(call: ast.Call, functions: dict) -> str | None:
+        """Name of the module-local function/method this call resolves
+        to (conservative: by bare name; ``self.f(...)``/``cls.f(...)``
+        count, arbitrary-object methods do not)."""
+        func = call.func
+        if isinstance(func, ast.Name) and func.id in functions:
+            return func.id
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")
+            and func.attr in functions
+        ):
+            return func.attr
+        return None
+
+    @staticmethod
+    def _reachable(start: str, callees: dict[str, set[str]]) -> set[str]:
+        seen = {start}
+        stack = [start]
+        while stack:
+            for nxt in callees.get(stack.pop(), ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen

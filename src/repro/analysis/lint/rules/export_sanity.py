@@ -1,0 +1,171 @@
+"""EXPORT-SANITY — ``__all__`` tells the truth.
+
+For every module that declares a literal ``__all__``:
+
+* every listed name must be bound at module top level (a typo'd or
+  since-deleted export raises ``AttributeError`` only at
+  ``from m import *`` time — lint catches it statically);
+* duplicates are flagged;
+* every *public* top-level ``def``/``class`` (no leading underscore)
+  must be listed — a module that declares an export surface commits to
+  keeping it complete.  Imported names and plain assignments are
+  exempt from the coverage check (re-export modules list them
+  explicitly when intended).
+
+Modules without ``__all__`` or with a computed one are skipped, as are
+modules using ``from x import *`` (bindings unknowable statically).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.config import LintConfig
+from repro.analysis.lint.model import Finding
+from repro.analysis.lint.project import Project
+from repro.analysis.lint.registry import register
+
+
+@register
+class ExportSanityRule:
+    NAME = "EXPORT-SANITY"
+    DESCRIPTION = (
+        "__all__ entries are bound at top level, duplicate-free, and "
+        "cover every public top-level def/class."
+    )
+
+    def run(self, project: Project, config: LintConfig) -> list[Finding]:
+        findings: list[Finding] = []
+        for root in config.export_sanity.roots:
+            for relpath in project.iter_python(root):
+                findings.extend(self._check_module(project, relpath))
+        return findings
+
+    def _check_module(self, project: Project, relpath: str) -> list[Finding]:
+        tree = project.tree(relpath)
+        if tree is None:
+            return []
+        declared = _literal_all(tree)
+        if declared is None:
+            return []
+        names, all_lineno = declared
+        bound, defs, has_star = _top_level_bindings(tree)
+
+        findings: list[Finding] = []
+        seen: set[str] = set()
+        for name in names:
+            if name in seen:
+                findings.append(
+                    Finding(
+                        path=relpath,
+                        line=all_lineno,
+                        rule=self.NAME,
+                        symbol=f"{name}:duplicate",
+                        message=f"__all__ lists {name!r} more than once",
+                    )
+                )
+            seen.add(name)
+            if not has_star and name not in bound:
+                findings.append(
+                    Finding(
+                        path=relpath,
+                        line=all_lineno,
+                        rule=self.NAME,
+                        symbol=f"{name}:unbound",
+                        message=(
+                            f"__all__ exports {name!r} but the module never "
+                            f"binds it — `from {_module_of(relpath)} import *` "
+                            f"would raise AttributeError"
+                        ),
+                    )
+                )
+        for name, lineno in defs.items():
+            if not name.startswith("_") and name not in seen:
+                findings.append(
+                    Finding(
+                        path=relpath,
+                        line=lineno,
+                        rule=self.NAME,
+                        symbol=f"{name}:uncovered",
+                        message=(
+                            f"public top-level `{name}` is missing from "
+                            f"__all__ (add it, or prefix it with `_`)"
+                        ),
+                    )
+                )
+        return findings
+
+
+def _module_of(relpath: str) -> str:
+    parts = relpath.removesuffix(".py").split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _literal_all(tree: ast.Module) -> tuple[list[str], int] | None:
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            continue
+        if not isinstance(node.value, (ast.List, ast.Tuple)):
+            return None  # computed __all__ — not statically checkable
+        names: list[str] = []
+        for elt in node.value.elts:
+            if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+                return None
+            names.append(elt.value)
+        return names, node.lineno
+    return None
+
+
+def _top_level_bindings(
+    tree: ast.Module,
+) -> tuple[set[str], dict[str, int], bool]:
+    """(all bound names, public-coverage-relevant defs/classes with
+    their lines, saw-import-star).  Descends into top-level ``if``/
+    ``try`` blocks (version/optional-dependency guards)."""
+    bound: set[str] = set()
+    defs: dict[str, int] = {}
+    has_star = False
+
+    def scan(body) -> None:
+        nonlocal has_star
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(node.name)
+                defs.setdefault(node.name, node.lineno)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for leaf in ast.walk(target):
+                        if isinstance(leaf, ast.Name):
+                            bound.add(leaf.id)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                if isinstance(node.target, ast.Name):
+                    bound.add(node.target.id)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        has_star = True
+                    else:
+                        bound.add(alias.asname or alias.name)
+            elif isinstance(node, ast.If):
+                scan(node.body)
+                scan(node.orelse)
+            elif isinstance(node, ast.Try):
+                scan(node.body)
+                for handler in node.handlers:
+                    scan(handler.body)
+                scan(node.orelse)
+                scan(node.finalbody)
+
+    scan(tree.body)
+    return bound, defs, has_star

@@ -1,0 +1,173 @@
+"""LOCK-GUARD — annotated attributes only touched under their lock.
+
+The convention (docs/ANALYSIS.md) is one trailing comment on the
+attribute's initialising assignment::
+
+    self._entries: OrderedDict[...] = OrderedDict()  # guarded-by: _lock
+    self.requests_total = 0  # guarded-by: loop
+
+Every later access ``recv.<attr>`` in the *same module* must then sit
+inside ``with recv.<lock>:`` / ``async with recv.<lock>:`` — receiver
+names must match, so ``entry._prepared`` needs ``entry._swap_lock``
+held, not some other entry's lock.  The function containing the
+annotation (usually ``__init__``) is exempt: construction happens
+before the object is shared.
+
+The pseudo-lock ``loop`` declares *event-loop confinement* instead of
+a mutex: accesses are fine anywhere in straight-line code (the loop
+serialises them) but must not be captured into a nested ``def`` or
+``lambda`` — deferred callables may run on executor threads.
+
+Guard scope is deliberately the annotating module; cross-module
+accesses (e.g. the fleet swap coordinator poking gateway internals)
+are covered by annotating the accessor module or by review.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.lint.config import LintConfig
+from repro.analysis.lint.model import Finding
+from repro.analysis.lint.project import Project
+from repro.analysis.lint.registry import register
+from repro.analysis.lint.rules._ast_util import dotted_name
+
+_ANNOTATION_RE = re.compile(
+    r"self\.(\w+)\s*(?::[^=#]*)?=.*#\s*guarded-by:\s*([A-Za-z_]\w*)"
+)
+
+LOOP_GUARD = "loop"
+
+
+@register
+class LockGuardRule:
+    NAME = "LOCK-GUARD"
+    DESCRIPTION = (
+        "Attributes annotated `# guarded-by: <lock>` are only accessed "
+        "with that lock held on the same receiver (or, for `loop`, "
+        "never from a deferred callable)."
+    )
+
+    def run(self, project: Project, config: LintConfig) -> list[Finding]:
+        findings: list[Finding] = []
+        for root in config.lock_guard.roots:
+            for relpath in project.iter_python(root):
+                findings.extend(self._check_module(project, relpath))
+        return findings
+
+    def _check_module(self, project: Project, relpath: str) -> list[Finding]:
+        tree = project.tree(relpath)
+        if tree is None:
+            return []
+        guards: dict[str, tuple[str, int]] = {}
+        for lineno, text in enumerate(project.lines(relpath), start=1):
+            match = _ANNOTATION_RE.search(text)
+            if match:
+                guards[match.group(1)] = (match.group(2), lineno)
+        if not guards:
+            return []
+        declaring = {
+            attr: _enclosing_function(tree, lineno)
+            for attr, (_, lineno) in guards.items()
+        }
+        checker = _AccessChecker(relpath, guards, declaring, self.NAME)
+        checker.visit_body(tree.body, held=frozenset(), funcs=(), deferred=0)
+        return checker.findings
+
+
+def _enclosing_function(tree: ast.Module, lineno: int):
+    """Innermost function whose span contains ``lineno``."""
+    best = None
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            end = node.end_lineno or node.lineno
+            if node.lineno <= lineno <= end:
+                if best is None or node.lineno > best.lineno:
+                    best = node
+    return best
+
+
+class _AccessChecker:
+    """Recursive walk tracking held locks, the function stack, and
+    deferred-callable nesting."""
+
+    def __init__(self, path, guards, declaring, rule_name):
+        self.path = path
+        self.guards = guards
+        self.declaring = declaring
+        self.rule_name = rule_name
+        self.findings: list[Finding] = []
+
+    def visit_body(self, body, *, held, funcs, deferred):
+        for node in body:
+            self._visit(node, held=held, funcs=funcs, deferred=deferred)
+
+    def _visit(self, node, *, held, funcs, deferred):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            nested = deferred + 1 if funcs else deferred
+            self.visit_body(
+                node.body, held=held, funcs=funcs + (node,), deferred=nested
+            )
+            return
+        if isinstance(node, ast.Lambda):
+            self._visit(node.body, held=held, funcs=funcs, deferred=deferred + 1)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = set(held)
+            for item in node.items:
+                name = dotted_name(item.context_expr)
+                if name:
+                    acquired.add(name)
+                self._visit(
+                    item.context_expr, held=held, funcs=funcs, deferred=deferred
+                )
+            self.visit_body(
+                node.body, held=frozenset(acquired), funcs=funcs, deferred=deferred
+            )
+            return
+        if isinstance(node, ast.Attribute):
+            self._check_access(node, held=held, funcs=funcs, deferred=deferred)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held=held, funcs=funcs, deferred=deferred)
+
+    def _check_access(self, node: ast.Attribute, *, held, funcs, deferred):
+        if node.attr not in self.guards or not isinstance(node.value, ast.Name):
+            return
+        receiver = node.value.id
+        lock, _ = self.guards[node.attr]
+        current = funcs[-1] if funcs else None
+        if current is not None and current is self.declaring.get(node.attr):
+            return  # construction in the declaring method is exempt
+        func_name = current.name if current is not None else "<module>"
+        if lock == LOOP_GUARD:
+            if deferred > 0:
+                self.findings.append(
+                    Finding(
+                        path=self.path,
+                        line=node.lineno,
+                        rule=self.rule_name,
+                        symbol=f"{node.attr}@{func_name}",
+                        message=(
+                            f"`{receiver}.{node.attr}` is loop-confined "
+                            f"(guarded-by: loop) but is captured in a nested "
+                            f"callable that may run off the event loop"
+                        ),
+                    )
+                )
+            return
+        if f"{receiver}.{lock}" not in held:
+            self.findings.append(
+                Finding(
+                    path=self.path,
+                    line=node.lineno,
+                    rule=self.rule_name,
+                    symbol=f"{node.attr}@{func_name}",
+                    message=(
+                        f"`{receiver}.{node.attr}` is guarded by "
+                        f"`{receiver}.{lock}` but is accessed in "
+                        f"`{func_name}` without holding it"
+                    ),
+                )
+            )

@@ -1,0 +1,142 @@
+"""METRIC-DRIFT — docs and ``snapshot()`` payloads name the same metrics.
+
+The doc-side catalog is *marked*: only backticked identifiers between
+``<!-- lint:metrics -->`` and ``<!-- /lint:metrics -->`` count, so the
+rest of the document can mention response fields (``swap_seconds``,
+``pause_seconds`` …) without tripping the rule.  The code side is every
+string key of a dict literal inside any function named ``snapshot`` in
+the configured metrics modules, filtered to metric-shaped names
+(``*_total``, ``*_seconds``, ``*_ms``, ``inflight``, …).
+
+Both directions are violations: an undocumented metric rots the
+operator docs, a documented-but-gone metric breaks dashboards.  A doc
+configured for an existing metrics module that lacks the marker region
+entirely is itself a finding — otherwise deleting the markers would
+disable the rule silently.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.lint.config import LintConfig, MetricDriftConfig
+from repro.analysis.lint.model import Finding
+from repro.analysis.lint.project import Project
+from repro.analysis.lint.registry import register
+from repro.analysis.lint.rules._ast_util import literal_dict_keys
+
+_REGION_OPEN = "<!-- lint:metrics -->"
+_REGION_CLOSE = "<!-- /lint:metrics -->"
+_BACKTICKED = re.compile(r"`([a-z][a-z0-9_]*)`")
+
+
+@register
+class MetricDriftRule:
+    NAME = "METRIC-DRIFT"
+    DESCRIPTION = (
+        "Every metric in the docs' marked catalog exists in the metrics "
+        "modules' snapshot() payloads, and vice versa."
+    )
+
+    def run(self, project: Project, config: LintConfig) -> list[Finding]:
+        findings: list[Finding] = []
+        for pair in config.metric_drift.pairs:
+            findings.extend(self._check_pair(project, pair, config.metric_drift))
+        return findings
+
+    def _check_pair(
+        self, project: Project, pair, cfg: MetricDriftConfig
+    ) -> list[Finding]:
+        code: dict[str, tuple[str, int]] = {}
+        any_module = False
+        for module_path in pair.module_paths:
+            tree = project.tree(module_path)
+            if tree is None:
+                continue
+            any_module = True
+            for node in ast.walk(tree):
+                if (
+                    isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node.name == "snapshot"
+                ):
+                    for key, lineno in literal_dict_keys(node).items():
+                        if _is_metric(key, cfg):
+                            code.setdefault(key, (module_path, lineno))
+        if not any_module or not project.exists(pair.doc_path):
+            return []
+
+        doc_lines = project.lines(pair.doc_path)
+        documented, region_found = _documented_metrics(doc_lines, cfg)
+        if not region_found:
+            return [
+                Finding(
+                    path=pair.doc_path,
+                    line=1,
+                    rule=self.NAME,
+                    symbol="missing-marker",
+                    message=(
+                        f"{pair.doc_path} documents a metrics module but has "
+                        f"no `{_REGION_OPEN}` … `{_REGION_CLOSE}` catalog "
+                        f"region (see docs/ANALYSIS.md)"
+                    ),
+                )
+            ]
+
+        findings: list[Finding] = []
+        for name in sorted(set(code) - set(documented)):
+            module_path, lineno = code[name]
+            findings.append(
+                Finding(
+                    path=module_path,
+                    line=lineno,
+                    rule=self.NAME,
+                    symbol=f"{name}:undocumented",
+                    message=(
+                        f"metric `{name}` is exported by snapshot() but "
+                        f"missing from the catalog in {pair.doc_path}"
+                    ),
+                )
+            )
+        for name in sorted(set(documented) - set(code)):
+            findings.append(
+                Finding(
+                    path=pair.doc_path,
+                    line=documented[name],
+                    rule=self.NAME,
+                    symbol=f"{name}:unknown",
+                    message=(
+                        f"{pair.doc_path} documents metric `{name}` which no "
+                        f"snapshot() in "
+                        f"{', '.join(pair.module_paths)} produces"
+                    ),
+                )
+            )
+        return findings
+
+
+def _is_metric(name: str, cfg: MetricDriftConfig) -> bool:
+    if name in cfg.exact_names:
+        return True
+    return any(name.endswith(suffix) for suffix in cfg.suffixes)
+
+
+def _documented_metrics(
+    lines: list[str], cfg: MetricDriftConfig
+) -> tuple[dict[str, int], bool]:
+    documented: dict[str, int] = {}
+    in_region = False
+    region_found = False
+    for lineno, text in enumerate(lines, start=1):
+        if _REGION_OPEN in text:
+            in_region = True
+            region_found = True
+            continue
+        if _REGION_CLOSE in text:
+            in_region = False
+            continue
+        if in_region:
+            for name in _BACKTICKED.findall(text):
+                if _is_metric(name, cfg):
+                    documented.setdefault(name, lineno)
+    return documented, region_found

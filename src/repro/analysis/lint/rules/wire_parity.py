@@ -1,0 +1,129 @@
+"""WIRE-PARITY — the HTTP wire schema cannot silently drift.
+
+Two pair kinds, both configured in :mod:`..config`:
+
+* **Response pairs** (:class:`~repro.analysis.lint.config.DictPair`):
+  the string keys a server-side encoder *produces* (dict literals,
+  ``dict(k=…)``, ``body["k"] = …``) must exactly match the keys the
+  client-side decoder *reads* (``payload["k"]``, ``payload.get("k")``),
+  modulo the declared envelope keys (``v``/``kind`` markers the
+  decoder validates elsewhere or ignores).
+
+* **Request pairs** (:class:`~repro.analysis.lint.config.RequestPair`):
+  every key a client request renderer produces must be in the server's
+  allowed-field frozenset constants, so a renamed request field fails
+  lint before it 400s in production.
+
+A pair whose file or function is absent under the analysed root is
+skipped — the same default config therefore runs over the real repo
+and over the miniature fixture repos.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lint.config import LintConfig
+from repro.analysis.lint.model import Finding
+from repro.analysis.lint.project import Project
+from repro.analysis.lint.registry import register
+from repro.analysis.lint.rules._ast_util import (
+    find_function,
+    literal_dict_keys,
+    read_dict_keys,
+    set_constant,
+)
+
+
+@register
+class WireParityRule:
+    NAME = "WIRE-PARITY"
+    DESCRIPTION = (
+        "Field-name parity between server protocol encoders and client "
+        "decoders, and client request bodies vs server allowed-field sets."
+    )
+
+    def run(self, project: Project, config: LintConfig) -> list[Finding]:
+        findings: list[Finding] = []
+        for pair in config.wire_parity.dict_pairs:
+            findings.extend(self._check_dict_pair(project, pair))
+        for pair in config.wire_parity.request_pairs:
+            findings.extend(self._check_request_pair(project, pair))
+        return findings
+
+    def _function(self, project: Project, path: str, name: str):
+        tree = project.tree(path)
+        if tree is None:
+            return None
+        return find_function(tree, name)
+
+    def _check_dict_pair(self, project: Project, pair) -> list[Finding]:
+        encoder = self._function(project, pair.encoder_path, pair.encoder_func)
+        decoder = self._function(project, pair.decoder_path, pair.decoder_func)
+        if encoder is None or decoder is None:
+            return []
+        produced = literal_dict_keys(encoder)
+        consumed = read_dict_keys(decoder)
+        findings: list[Finding] = []
+        pair_id = f"{pair.encoder_func}<->{pair.decoder_func}"
+        for key in sorted(set(produced) - set(consumed) - pair.envelope):
+            findings.append(
+                Finding(
+                    path=pair.encoder_path,
+                    line=produced[key],
+                    rule=self.NAME,
+                    symbol=f"{pair_id}:{key}:unread",
+                    message=(
+                        f"`{pair.encoder_func}` produces field {key!r} but "
+                        f"`{pair.decoder_func}` "
+                        f"({pair.decoder_path}) never reads it"
+                    ),
+                )
+            )
+        for key in sorted(set(consumed) - set(produced) - pair.envelope):
+            findings.append(
+                Finding(
+                    path=pair.decoder_path,
+                    line=consumed[key],
+                    rule=self.NAME,
+                    symbol=f"{pair_id}:{key}:unproduced",
+                    message=(
+                        f"`{pair.decoder_func}` reads field {key!r} but "
+                        f"`{pair.encoder_func}` "
+                        f"({pair.encoder_path}) never produces it"
+                    ),
+                )
+            )
+        return findings
+
+    def _check_request_pair(self, project: Project, pair) -> list[Finding]:
+        renderer = self._function(
+            project, pair.renderer_path, pair.renderer_func
+        )
+        schema_tree = project.tree(pair.schema_path)
+        if renderer is None or schema_tree is None:
+            return []
+        allowed: set[str] = set()
+        resolved_any = False
+        for const in pair.schema_consts:
+            value = set_constant(schema_tree, const)
+            if value is not None:
+                allowed |= value[0]
+                resolved_any = True
+        if not resolved_any:
+            return []
+        produced = literal_dict_keys(renderer)
+        findings: list[Finding] = []
+        for key in sorted(set(produced) - allowed):
+            findings.append(
+                Finding(
+                    path=pair.renderer_path,
+                    line=produced[key],
+                    rule=self.NAME,
+                    symbol=f"{pair.renderer_func}:{key}:rejected",
+                    message=(
+                        f"`{pair.renderer_func}` sends field {key!r} which is "
+                        f"not in {'/'.join(pair.schema_consts)} "
+                        f"({pair.schema_path}) — the server would 400"
+                    ),
+                )
+            )
+        return findings

@@ -190,7 +190,7 @@ class FleetGateway(BaseAsyncHttpServer):
         #: The delay log: every committed batch per dataset, in commit
         #: order, as ready-to-replay ``mode=apply`` bodies.  Its length
         #: is the fleet's committed generation.
-        self._delay_log: dict[str, list[bytes]] = {}
+        self._delay_log: dict[str, list[bytes]] = {}  # guarded-by: _swap_lock
         #: Serializes coordinated swaps and worker admissions — the
         #: two operations that must see a frozen (generation, healthy
         #: set) pair.  Routing never takes it.
@@ -715,6 +715,10 @@ class FleetGateway(BaseAsyncHttpServer):
             "role": "gateway",
             "datasets": sorted(datasets),
             "generations": {
+                # Safe lock-free read: this sync method runs on the event
+                # loop with no await point, and _swap_lock holders mutate
+                # the log only from coroutines on this same loop.
+                # lint: disable=LOCK-GUARD — loop-confined sync read
                 name: len(log) for name, log in self._delay_log.items()
             },
             "workers": {

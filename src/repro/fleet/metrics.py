@@ -31,31 +31,31 @@ class GatewayMetrics:
 
     def __init__(self) -> None:
         self._started = time.monotonic()
-        self.requests_total: dict[str, int] = {}
-        self.responses_total: dict[str, dict[str, int]] = {}
-        self.latency: dict[str, LatencyHistogram] = {}
-        self.rejected_total = 0
-        self.rejected_by_endpoint: dict[str, int] = {}
-        self.inflight = 0
+        self.requests_total: dict[str, int] = {}  # guarded-by: loop
+        self.responses_total: dict[str, dict[str, int]] = {}  # guarded-by: loop
+        self.latency: dict[str, LatencyHistogram] = {}  # guarded-by: loop
+        self.rejected_total = 0  # guarded-by: loop
+        self.rejected_by_endpoint: dict[str, int] = {}  # guarded-by: loop
+        self.inflight = 0  # guarded-by: loop
         #: Forwards that returned (any status), per worker name.
-        self.forwards_total: dict[str, int] = {}
+        self.forwards_total: dict[str, int] = {}  # guarded-by: loop
         #: Queries re-sent to a peer after the first worker failed
         #: (transport error or retriable 503).
-        self.failovers_total = 0
+        self.failovers_total = 0  # guarded-by: loop
         #: 503s answered because no healthy worker was available.
-        self.no_worker_total = 0
-        self.ejections_total: dict[str, int] = {}
-        self.readmissions_total: dict[str, int] = {}
+        self.no_worker_total = 0  # guarded-by: loop
+        self.ejections_total: dict[str, int] = {}  # guarded-by: loop
+        self.readmissions_total: dict[str, int] = {}  # guarded-by: loop
         #: Delay batches replayed to restarted workers before
         #: readmission (the catch-up protocol, ``docs/FLEET.md``).
-        self.catch_up_batches_total = 0
+        self.catch_up_batches_total = 0  # guarded-by: loop
         #: Gateway-coordinated swaps committed, per dataset.
-        self.swaps_total: dict[str, int] = {}
-        self.last_swap_seconds: dict[str, float] = {}
+        self.swaps_total: dict[str, int] = {}  # guarded-by: loop
+        self.last_swap_seconds: dict[str, float] = {}  # guarded-by: loop
         #: How long the last swap held the dataset's routing gate
         #: closed (drain + fleet-wide commit), in seconds.
-        self.last_swap_pause_seconds: dict[str, float] = {}
-        self.health_sweep_errors_total = 0
+        self.last_swap_pause_seconds: dict[str, float] = {}  # guarded-by: loop
+        self.health_sweep_errors_total = 0  # guarded-by: loop
 
     # -- observation hooks ---------------------------------------------
 

@@ -137,7 +137,7 @@ class WorkerSupervisor:
             self._runtime_dir = Path(runtime_dir)
             self._runtime_dir.mkdir(parents=True, exist_ok=True)
             self._owns_runtime_dir = False
-        self._workers = [
+        self._workers = [  # guarded-by: _lock
             _Worker(i, self._runtime_dir) for i in range(num_workers)
         ]
         self._lock = threading.Lock()
@@ -248,14 +248,19 @@ class WorkerSupervisor:
 
     def log_tail(self, name: str, lines: int = 20) -> str:
         """The last ``lines`` of one worker's captured output."""
-        for worker in self._workers:
-            if worker.name == name:
-                try:
-                    text = worker.log_path.read_text(errors="replace")
-                except OSError:
-                    return ""
-                return "\n".join(text.splitlines()[-lines:])
-        raise KeyError(f"no worker named {name!r}")
+        with self._lock:
+            worker = next(
+                (w for w in self._workers if w.name == name), None
+            )
+        if worker is None:
+            raise KeyError(f"no worker named {name!r}")
+        # The file read happens outside the lock: log_path is immutable
+        # per slot, and tailing a log must not stall the monitor loop.
+        try:
+            text = worker.log_path.read_text(errors="replace")
+        except OSError:
+            return ""
+        return "\n".join(text.splitlines()[-lines:])
 
     # -- internals ------------------------------------------------------
 
@@ -322,7 +327,8 @@ class WorkerSupervisor:
 
     def _await_ports(self) -> None:
         deadline = time.monotonic() + self.spawn_timeout
-        pending = list(self._workers)
+        with self._lock:
+            pending = list(self._workers)
         while pending:
             still = []
             for worker in pending:

@@ -34,9 +34,9 @@ class LatencyHistogram:
     __slots__ = ("_counts", "_sum_ms", "_count")
 
     def __init__(self) -> None:
-        self._counts = [0] * (len(LATENCY_BUCKETS_MS) + 1)
-        self._sum_ms = 0.0
-        self._count = 0
+        self._counts = [0] * (len(LATENCY_BUCKETS_MS) + 1)  # guarded-by: loop
+        self._sum_ms = 0.0  # guarded-by: loop
+        self._count = 0  # guarded-by: loop
 
     def observe(self, seconds: float) -> None:
         ms = seconds * 1000.0
@@ -97,18 +97,18 @@ class ServerMetrics:
 
     def __init__(self) -> None:
         self._started = time.monotonic()
-        self.requests_total: dict[str, int] = {}
-        self.responses_total: dict[str, dict[str, int]] = {}
-        self.latency: dict[str, LatencyHistogram] = {}
-        self.rejected_total = 0
-        self.rejected_by_endpoint: dict[str, int] = {}
-        self.retries_observed_total = 0
-        self.inflight = 0
-        self.micro_batches_total = 0
-        self.micro_batched_queries_total = 0
-        self.micro_batch_max_size = 0
-        self.swaps_total: dict[str, int] = {}
-        self.last_swap_seconds: dict[str, float] = {}
+        self.requests_total: dict[str, int] = {}  # guarded-by: loop
+        self.responses_total: dict[str, dict[str, int]] = {}  # guarded-by: loop
+        self.latency: dict[str, LatencyHistogram] = {}  # guarded-by: loop
+        self.rejected_total = 0  # guarded-by: loop
+        self.rejected_by_endpoint: dict[str, int] = {}  # guarded-by: loop
+        self.retries_observed_total = 0  # guarded-by: loop
+        self.inflight = 0  # guarded-by: loop
+        self.micro_batches_total = 0  # guarded-by: loop
+        self.micro_batched_queries_total = 0  # guarded-by: loop
+        self.micro_batch_max_size = 0  # guarded-by: loop
+        self.swaps_total: dict[str, int] = {}  # guarded-by: loop
+        self.last_swap_seconds: dict[str, float] = {}  # guarded-by: loop
 
     # -- observation hooks ---------------------------------------------
 

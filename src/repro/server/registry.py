@@ -86,8 +86,8 @@ class DatasetEntry:
         self._swap_lock = asyncio.Lock()
         #: Pending two-phase swap: ``(token, replanned service, base
         #: generation, replan seconds)`` — at most one at a time.
-        self._prepared: tuple[int, TransitService, int, float] | None = None
-        self._next_token = 0
+        self._prepared: tuple[int, TransitService, int, float] | None = None  # guarded-by: _swap_lock
+        self._next_token = 0  # guarded-by: _swap_lock
 
     def describe(self) -> dict:
         """JSON-safe summary for ``/v1/datasets`` (no packed buffers

@@ -54,10 +54,10 @@ class LRUResultCache:
         if maxsize < 0:
             raise ValueError(f"maxsize must be non-negative, got {maxsize}")
         self._maxsize = maxsize
-        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()  # guarded-by: _lock
         self._lock = Lock()
-        self._hits = 0
-        self._misses = 0
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
 
     def get(self, key: Hashable):
         """The cached answer for ``key``, or ``None`` on a miss."""

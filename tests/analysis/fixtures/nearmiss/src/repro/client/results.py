@@ -1,0 +1,10 @@
+"""Decoder half of the WIRE-PARITY near-miss: reads exactly what the
+encoder produces (envelope keys are the lint config's business)."""
+
+
+def decode_journey(payload: dict) -> dict:
+    return {
+        "source": payload["source"],
+        "target": payload["target"],
+        "arrival": payload.get("arrival"),
+    }

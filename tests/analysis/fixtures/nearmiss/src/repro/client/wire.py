@@ -1,0 +1,10 @@
+"""WIRE-PARITY request near-miss: a renderer that produces a strict
+*subset* of the allowed fields is fine (optional fields may be
+omitted)."""
+
+
+def journey_body(source: int, target: int) -> dict:
+    return {
+        "source": source,
+        "target": target,
+    }

@@ -1,0 +1,31 @@
+"""ASYNC-BLOCK near-misses: every sanctioned way to do blocking work
+from a coroutine, none of which may fire.
+"""
+
+import asyncio
+import time
+
+__all__ = ["handle", "prefetch"]
+
+
+def _blocking_refresh():
+    # Blocking — but only ever *referenced* by `handle`, never called
+    # from the loop: run_in_executor runs it on a worker thread.
+    time.sleep(0.1)
+
+
+async def handle():
+    await asyncio.sleep(0.01)  # the asyncio equivalent is fine
+    loop = asyncio.get_running_loop()
+    # Bare callable reference: not a call made by the coroutine.
+    await loop.run_in_executor(None, _blocking_refresh)
+    # Bare stdlib reference: same.
+    await loop.run_in_executor(None, time.sleep, 0.05)
+    # Lambda bodies are deferred; the blocking call is the thread's.
+    await loop.run_in_executor(None, lambda: time.sleep(0.05))
+    return "ok"
+
+
+async def prefetch(requests: dict) -> int:
+    # A local mapping named `requests` is not the requests library.
+    return requests.get("journey", 0)

@@ -1,0 +1,14 @@
+"""LOCK-GUARD(loop) near-miss: loop-confined counters mutated in
+straight-line methods (the loop serialises them) — only *deferred*
+captures are violations."""
+
+
+class Metrics:
+    def __init__(self) -> None:
+        self.requests_total = 0  # guarded-by: loop
+
+    def observe(self) -> None:
+        self.requests_total += 1
+
+    def snapshot(self) -> dict:
+        return {"requests_total": self.requests_total}

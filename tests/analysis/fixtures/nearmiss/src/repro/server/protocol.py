@@ -1,0 +1,14 @@
+"""WIRE-PARITY near-miss: encoder and decoder agree exactly, modulo
+the declared envelope keys (``v``/``kind``)."""
+
+_JOURNEY_FIELDS = {"v", "source", "target", "departure"}
+
+
+def encode_journey(result) -> dict:
+    return {
+        "v": 1,
+        "kind": "journey",
+        "source": result.source,
+        "target": result.target,
+        "arrival": result.arrival,
+    }

@@ -1,0 +1,20 @@
+"""LOCK-GUARD near-misses: every access holds the annotated lock (or
+is the declaring ``__init__``)."""
+
+from threading import Lock
+
+
+class Cache:
+    def __init__(self) -> None:
+        self._lock = Lock()
+        self._entries: dict = {}  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+
+    def get(self, key):
+        with self._lock:
+            self._hits += 1
+            return self._entries.get(key)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,11 @@
+"""Seeded WIRE-PARITY request violation: the renderer sends a field
+the server's allowed-field set would reject with a 400."""
+
+
+def journey_body(source: int, target: int, departure: int, via: int) -> dict:
+    return {
+        "source": source,
+        "target": target,
+        "departure": departure,
+        "via": via,  # WIRE-PARITY: not in _JOURNEY_FIELDS
+    }

@@ -1,0 +1,20 @@
+"""Seeded ASYNC-BLOCK and EXPORT-SANITY violations.
+
+This fixture mirrors the real repo layout so the *default* lint
+config fires on it: the blocking call is reachable from a coroutine
+through a sync helper, and ``__all__`` exports a name that is never
+bound.
+"""
+
+import time
+
+__all__ = ["handle", "missing_symbol"]
+
+
+def _refresh_cache():
+    time.sleep(0.1)  # ASYNC-BLOCK: reachable from `handle`
+
+
+async def handle():
+    _refresh_cache()
+    return "ok"

@@ -1,0 +1,17 @@
+"""Seeded METRIC-DRIFT and LOCK-GUARD(loop) violations."""
+
+
+class Metrics:
+    def __init__(self) -> None:
+        self.requests_total = 0  # guarded-by: loop
+
+    def defer(self, executor) -> None:
+        # LOCK-GUARD: a loop-confined counter captured into a callable
+        # that may run on an executor thread.
+        executor.submit(lambda: self.requests_total + 1)
+
+    def snapshot(self) -> dict:
+        return {
+            "requests_total": self.requests_total,
+            "secret_total": 2,  # METRIC-DRIFT: not in docs/SERVER.md
+        }

@@ -1,0 +1,14 @@
+"""Seeded WIRE-PARITY violation: the encoder grew a field the client
+decoder never learned to read."""
+
+_JOURNEY_FIELDS = {"v", "source", "target", "departure"}
+
+
+def encode_journey(result) -> dict:
+    return {
+        "v": 1,
+        "kind": "journey",
+        "source": result.source,
+        "target": result.target,
+        "arrival": result.arrival,  # WIRE-PARITY: decoder ignores this
+    }

@@ -1,0 +1,16 @@
+"""Seeded LOCK-GUARD violation: a guarded attribute read unlocked."""
+
+from threading import Lock
+
+
+class Cache:
+    def __init__(self) -> None:
+        self._lock = Lock()
+        self._entries: dict = {}  # guarded-by: _lock
+
+    def size(self) -> int:
+        return len(self._entries)  # LOCK-GUARD: no lock held
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._entries[key] = value
