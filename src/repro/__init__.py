@@ -53,6 +53,14 @@ from N worker processes behind a routing gateway
 clients keep the URL above, and gain worker failover plus
 fleet-coordinated delay swaps for free.
 
+Live operations ride on the same swap path: a seeded GTFS-RT-style
+delay stream (:func:`repro.synthetic.delays.generate_delay_stream`)
+replayed by :mod:`repro.streams` drives a serving target with
+interleaved query+delay traffic, each batch absorbed by incremental
+delta replanning (``apply_delays(..., mode="incremental")`` —
+bitwise-identical to a full rebuild, several times faster; see
+docs/STREAMS.md).
+
 The lower-level building blocks remain available for research use::
 
     from repro import (
@@ -128,7 +136,7 @@ from repro.client import (
 )
 from repro.synthetic import make_instance
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Connection",

@@ -44,7 +44,11 @@ class AsyncBlockConfig:
     """ASYNC-BLOCK: subtrees whose ``async def`` bodies (and the sync
     helpers they call) must not invoke blocking calls."""
 
-    roots: tuple[str, ...] = ("src/repro/server", "src/repro/fleet")
+    roots: tuple[str, ...] = (
+        "src/repro/server",
+        "src/repro/fleet",
+        "src/repro/streams",
+    )
     blocking_calls: frozenset[str] = DEFAULT_BLOCKING_CALLS
 
 
@@ -59,6 +63,7 @@ class LockGuardConfig:
         "src/repro/service",
         "src/repro/server",
         "src/repro/fleet",
+        "src/repro/streams",
     )
 
 
@@ -198,6 +203,7 @@ def default_config() -> LintConfig:
         pairs=(
             MetricDocPair("docs/SERVER.md", ("src/repro/server/metrics.py",)),
             MetricDocPair("docs/FLEET.md", ("src/repro/fleet/metrics.py",)),
+            MetricDocPair("docs/STREAMS.md", ("src/repro/streams/metrics.py",)),
         )
     )
     return LintConfig(wire_parity=wire, metric_drift=metrics)

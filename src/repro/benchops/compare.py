@@ -26,7 +26,9 @@ from repro.benchops.schema import BenchOpsError, BenchRecord
 DEFAULT_BAND = 0.15
 
 _LOWER_SUFFIXES = ("_ms", "_seconds")
-_HIGHER_SUFFIXES = ("_qps", "_speedup", "_per_second", "_hit_rate")
+_HIGHER_SUFFIXES = (
+    "_qps", "_speedup", "_per_second", "_per_minute", "_hit_rate"
+)
 
 
 def metric_direction(name: str) -> int:

@@ -12,6 +12,10 @@ Subcommands::
     serve      async multi-dataset HTTP query server over stores
     serve-fleet  sharded multi-process serve fleet behind a routing
                gateway (N worker processes, one address; docs/FLEET.md)
+    delay-stream  generate a seeded GTFS-RT-style delay stream for the
+               replay harness (docs/STREAMS.md)
+    replay     replay a delay stream against a live serve/serve-fleet
+               target with interleaved closed-loop query traffic
     table1     regenerate Table 1 rows for an instance
     table2     regenerate Table 2 rows for an instance
     bench      benchmark ops: index pending result records into the
@@ -73,7 +77,7 @@ from repro.service import (
 )
 from repro.store import StoreError, describe_store
 from repro.synthetic.workloads import random_station_pairs
-from repro.synthetic import INSTANCE_NAMES, make_instance
+from repro.synthetic import INSTANCE_NAMES, STREAM_SHAPES, make_instance
 from repro.timetable.gtfs import load_gtfs, save_gtfs
 from repro.timetable.periodic import format_time
 from repro.timetable.types import Timetable
@@ -735,6 +739,85 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_delay_stream(args: argparse.Namespace) -> int:
+    # Imported lazily like serve: the streams package is only needed
+    # by the two stream subcommands.
+    from repro.streams import StreamFormatError
+    from repro.synthetic.delays import generate_delay_stream
+
+    timetable = _load(args)
+    shapes = None
+    if args.shape:
+        shapes = tuple(args.shape)
+    try:
+        stream = generate_delay_stream(
+            timetable,
+            seed=args.stream_seed,
+            num_events=args.events,
+            duration_s=args.duration,
+            **({"shapes": shapes} if shapes else {}),
+            max_trains_per_event=args.max_trains,
+            name=args.name,
+        )
+    except (StreamFormatError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    stream.save(args.output)
+    print(
+        f"wrote {stream.name}: {stream.num_events} event(s) over "
+        f"{stream.duration_s:.1f} s (seed {stream.seed}, "
+        f"{stream.num_trains} trains) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Replay a delay stream against a live target (docs/STREAMS.md).
+
+    Exit 0 when the operational contract holds (zero failed requests,
+    every event committed, swap-pause bound met), 1 otherwise; the
+    report JSON goes to stdout either way.
+    """
+    from repro.streams import (
+        DelayStream,
+        ReplayConfig,
+        ReplayError,
+        StreamFormatError,
+        replay_stream,
+    )
+
+    try:
+        stream = DelayStream.load(args.stream)
+    except (OSError, StreamFormatError) as exc:
+        raise SystemExit(f"error: cannot load stream {args.stream}: {exc}") from None
+    try:
+        config = ReplayConfig(
+            query_threads=args.query_threads,
+            queries_seed=args.queries_seed,
+            departure=args.departure,
+            speed=args.speed,
+            replan=args.replan,
+            max_swap_seconds=args.max_swap_seconds,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+    def backends() -> TransitBackend:
+        return connect(args.remote)
+
+    try:
+        report = replay_stream(stream, backends, config)
+    except (ReplayError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    print(json.dumps(report.to_json(), sort_keys=True))
+    if not report.ok:
+        try:
+            report.check()
+        except ReplayError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     result = run_table1(
         args.instance,
@@ -1233,6 +1316,88 @@ def build_parser() -> argparse.ArgumentParser:
         "fresh temp directory)",
     )
     p_fleet.set_defaults(func=_cmd_serve_fleet)
+
+    p_stream = sub.add_parser(
+        "delay-stream",
+        help="generate a seeded GTFS-RT-style delay stream "
+        "(docs/STREAMS.md)",
+    )
+    _add_input_arguments(p_stream)
+    p_stream.add_argument(
+        "--output", required=True, metavar="FILE",
+        help="stream JSON file to write",
+    )
+    p_stream.add_argument(
+        "--stream-seed", type=int, default=0,
+        help="seed for the event sequence (independent of --seed, "
+        "which shapes the synthetic instance; default: 0)",
+    )
+    p_stream.add_argument(
+        "--events", type=int, default=20,
+        help="number of delay batches (default: 20)",
+    )
+    p_stream.add_argument(
+        "--duration", type=float, default=10.0, metavar="SECONDS",
+        help="replay-time window the events spread over (default: 10)",
+    )
+    p_stream.add_argument(
+        "--shape", action="append", metavar="NAME",
+        choices=STREAM_SHAPES,
+        help=f"restrict disruption shapes (repeatable; "
+        f"default: all of {', '.join(STREAM_SHAPES)})",
+    )
+    p_stream.add_argument(
+        "--max-trains", type=int, default=5,
+        help="batch-size cap per event, except line closures "
+        "(default: 5)",
+    )
+    p_stream.add_argument(
+        "--name", default=None,
+        help="stream name (default: derived from the timetable)",
+    )
+    p_stream.set_defaults(func=_cmd_delay_stream)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="replay a delay stream against a live serve/serve-fleet "
+        "target with closed-loop query traffic (docs/STREAMS.md)",
+    )
+    p_replay.add_argument(
+        "--stream", required=True, metavar="FILE",
+        help="stream JSON written by `delay-stream`",
+    )
+    p_replay.add_argument(
+        "--remote", required=True, metavar="URL",
+        help="live target: http://host:port[/dataset] of a "
+        "`serve` worker or a `serve-fleet` gateway",
+    )
+    p_replay.add_argument(
+        "--query-threads", type=int, default=2,
+        help="closed-loop query worker threads (default: 2)",
+    )
+    p_replay.add_argument(
+        "--queries-seed", type=int, default=0,
+        help="seed for the random query mix (default: 0)",
+    )
+    p_replay.add_argument(
+        "--departure", type=int, default=480,
+        help="journey departure time in minutes (default: 480)",
+    )
+    p_replay.add_argument(
+        "--speed", type=float, default=1.0,
+        help="stream clock multiplier (2.0 replays twice as fast; "
+        "default: 1)",
+    )
+    p_replay.add_argument(
+        "--replan", choices=("full", "incremental"), default="full",
+        help="replan mode forwarded on every delay post (default: full)",
+    )
+    p_replay.add_argument(
+        "--max-swap-seconds", type=float, default=None,
+        help="fail (exit 1) if any swap acknowledgement exceeds this "
+        "(default: unchecked)",
+    )
+    p_replay.set_defaults(func=_cmd_replay)
 
     p_bench = sub.add_parser(
         "bench",

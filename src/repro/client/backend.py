@@ -96,7 +96,11 @@ class TransitBackend(Protocol):
     ) -> Iterator[JourneyAnswer | ProfileAnswer]: ...
 
     def apply_delays(
-        self, delays: Sequence[Delay], *, slack_per_leg: int = 0
+        self,
+        delays: Sequence[Delay],
+        *,
+        slack_per_leg: int = 0,
+        replan: str = "full",
     ) -> DelayUpdate: ...
 
     def info(self) -> DatasetInfo: ...
@@ -254,10 +258,14 @@ class LocalBackend:
     # -- delays and metadata ---------------------------------------------
 
     def apply_delays(
-        self, delays: Sequence[Delay], *, slack_per_leg: int = 0
+        self,
+        delays: Sequence[Delay],
+        *,
+        slack_per_leg: int = 0,
+        replan: str = "full",
     ) -> DelayUpdate:
         service = self.service
-        body = wire.delays_body(delays, slack_per_leg)
+        body = wire.delays_body(delays, slack_per_leg, replan=replan)
         command = self._parse(
             parse_delay_request, body, service.timetable.num_trains
         )
@@ -266,7 +274,9 @@ class LocalBackend:
             old = self._service if self._service is not None else service
             t0 = time.perf_counter()
             try:
-                new = old.apply_delays(parsed, slack_per_leg=slack)
+                new = old.apply_delays(
+                    parsed, slack_per_leg=slack, mode=command.replan
+                )
             except ValueError as exc:
                 # The same mapping the server applies to domain
                 # validation the wire layer cannot see (e.g. from_stop

@@ -278,13 +278,17 @@ class HttpBackend:
     # -- delays and metadata ---------------------------------------------
 
     def apply_delays(
-        self, delays: Sequence[Delay], *, slack_per_leg: int = 0
+        self,
+        delays: Sequence[Delay],
+        *,
+        slack_per_leg: int = 0,
+        replan: str = "full",
     ) -> DelayUpdate:
         # Not idempotent: a replayed swap would stack the delays onto
         # the already-delayed timetable, so no transparent re-send on
         # connection failures (503 rejections happen *before* any
         # replan and stay safely retriable).
-        body = wire.delays_body(delays, slack_per_leg)
+        body = wire.delays_body(delays, slack_per_leg, replan=replan)
         return decode_delay_update(
             self._post(
                 f"/v1/datasets/{self.dataset}/delays",

@@ -90,7 +90,11 @@ def batch_body(request: BatchRequest) -> dict:
     return body
 
 
-def delays_body(delays: Sequence[Delay], slack_per_leg: int = 0) -> dict:
+def delays_body(
+    delays: Sequence[Delay],
+    slack_per_leg: int = 0,
+    replan: str = "full",
+) -> dict:
     items = []
     for delay in delays:
         item: dict = {"train": delay.train, "minutes": delay.minutes}
@@ -100,4 +104,6 @@ def delays_body(delays: Sequence[Delay], slack_per_leg: int = 0) -> dict:
     body: dict = {"delays": items}
     if slack_per_leg:
         body["slack_per_leg"] = slack_per_leg
+    if replan != "full":
+        body["replan"] = replan
     return body

@@ -49,6 +49,7 @@ from typing import Callable, Mapping, Sequence
 
 from repro.client.errors import BackendTimeoutError, TransportError
 from repro.client.http import HttpBackend, RetryPolicy
+from repro.fleet.catchup import coalesce_delay_log
 from repro.fleet.metrics import GatewayMetrics
 from repro.fleet.swap import FleetSwapCoordinator
 from repro.server.http_base import BaseAsyncHttpServer
@@ -647,7 +648,14 @@ class FleetGateway(BaseAsyncHttpServer):
         it missed first.  Runs under the swap lock so no coordinated
         swap can move the fleet's generation mid-catch-up (and a
         worker can never become healthy between a swap's prepare and
-        commit, which would leave it unswapped)."""
+        commit, which would leave it unswapped).
+
+        The missed-log suffix is coalesced first
+        (:func:`repro.fleet.catchup.coalesce_delay_log`): consecutive
+        slack-free batches merge into one bounded ``apply`` carrying a
+        ``generations`` count, so a worker rejoining after a long
+        stream catches up in O(slack barriers + 1) posts instead of
+        O(committed batches), with generation accounting unchanged."""
         try:
             async with self._swap_lock:
                 for dataset in sorted(st.datasets):
@@ -660,12 +668,13 @@ class FleetGateway(BaseAsyncHttpServer):
                             f"{len(log)} — it was mutated out-of-band; "
                             f"restart it from the store"
                         )
-                    for batch in log[have:]:
+                    plan = coalesce_delay_log(list(log[have:]))
+                    for body, represented in plan:
                         status, _, raw = await self._forward(
                             st,
                             "POST",
                             f"/v1/datasets/{dataset}/delays",
-                            batch,
+                            json.dumps(body).encode(),
                             idempotent=False,
                             control=True,
                         )
@@ -675,8 +684,9 @@ class FleetGateway(BaseAsyncHttpServer):
                                 f"{status}: {raw[:200]!r}"
                             )
                         self.metrics.catch_up_batches_total += 1
+                        self.metrics.catch_up_coalesced_total += represented
                         st.generations[dataset] = (
-                            st.generations.get(dataset, 0) + 1
+                            st.generations.get(dataset, 0) + represented
                         )
                 if self._workers.get(st.name) is not st:
                     return  # replaced while catching up; discard

@@ -46,9 +46,16 @@ class GatewayMetrics:
         self.no_worker_total = 0  # guarded-by: loop
         self.ejections_total: dict[str, int] = {}  # guarded-by: loop
         self.readmissions_total: dict[str, int] = {}  # guarded-by: loop
-        #: Delay batches replayed to restarted workers before
+        #: Catch-up replay POSTs sent to restarted workers before
         #: readmission (the catch-up protocol, ``docs/FLEET.md``).
         self.catch_up_batches_total = 0  # guarded-by: loop
+        #: Logged delay batches those posts *represented* — coalescing
+        #: merges consecutive slack-free batches, so this counts the
+        #: batches caught up, not the posts sent.
+        self.catch_up_coalesced_total = 0  # guarded-by: loop
+        #: Coordinated swaps that requested the incremental delta
+        #: replan (``replan: incremental``), per dataset.
+        self.incremental_swaps_total: dict[str, int] = {}  # guarded-by: loop
         #: Gateway-coordinated swaps committed, per dataset.
         self.swaps_total: dict[str, int] = {}  # guarded-by: loop
         self.last_swap_seconds: dict[str, float] = {}  # guarded-by: loop
@@ -95,11 +102,20 @@ class GatewayMetrics:
         )
 
     def observe_swap(
-        self, dataset: str, seconds: float, pause_seconds: float
+        self,
+        dataset: str,
+        seconds: float,
+        pause_seconds: float,
+        *,
+        incremental: bool = False,
     ) -> None:
         self.swaps_total[dataset] = self.swaps_total.get(dataset, 0) + 1
         self.last_swap_seconds[dataset] = seconds
         self.last_swap_pause_seconds[dataset] = pause_seconds
+        if incremental:
+            self.incremental_swaps_total[dataset] = (
+                self.incremental_swaps_total.get(dataset, 0) + 1
+            )
 
     # -- rendering ------------------------------------------------------
 
@@ -125,7 +141,9 @@ class GatewayMetrics:
             "ejections_total": dict(self.ejections_total),
             "readmissions_total": dict(self.readmissions_total),
             "catch_up_batches_total": self.catch_up_batches_total,
+            "catch_up_coalesced_total": self.catch_up_coalesced_total,
             "swaps_total": dict(self.swaps_total),
+            "incremental_swaps_total": dict(self.incremental_swaps_total),
             "last_swap_seconds": {
                 name: round(seconds, 6)
                 for name, seconds in self.last_swap_seconds.items()

@@ -149,7 +149,12 @@ class FleetSwapCoordinator:
                     swap_seconds, payload.get("swap_seconds", 0.0)
                 )
             total = time.perf_counter() - t0
-            gw.metrics.observe_swap(dataset, total, pause_seconds)
+            gw.metrics.observe_swap(
+                dataset,
+                total,
+                pause_seconds,
+                incremental=body.get("replan") == "incremental",
+            )
             delays = body.get("delays") or []
             return 200, {
                 "v": PROTOCOL_VERSION,

@@ -133,3 +133,69 @@ def build_distance_table(
         build_seconds=build_seconds,
         build_settled=settled,
     )
+
+
+def patch_distance_table(
+    table: DistanceTable,
+    graph: TDGraph,
+    affected_sources,
+    *,
+    num_threads: int = 8,
+    strategy: str = "equal-connections",
+    kernel: str = "python",
+    arrays=None,
+) -> DistanceTable:
+    """Rebuild only the rows of ``D`` whose one-to-all search can have
+    changed, against an incrementally patched ``graph``.
+
+    ``affected_sources`` is a boolean mask over stations (see
+    :func:`repro.graph.td_patch.stations_reaching`): stations that can
+    reach a delay-trigger station.  A profile search seeded at a source
+    outside the mask never relaxes a changed route edge nor seeds from
+    a changed ``conn(S)`` row, so its reduced profiles — and therefore
+    the whole table row — are exactly what a cold build on the delayed
+    graph would produce; those row lists are shared by reference (rows
+    are never mutated after construction).
+
+    ``build_seconds``/``build_settled`` report *this patch's* work, not
+    cumulative totals — they are diagnostics of the latest (re)build,
+    which is what the replan accounting wants.
+    """
+    stations = table.transfer_stations
+    n = int(stations.size)
+    period = table.period
+    mask = np.asarray(affected_sources, dtype=bool)
+
+    empty = Profile(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), period)
+    profiles: list[list[Profile]] = list(table.profiles)
+
+    t0 = time.perf_counter()
+    settled = 0
+    for a, origin in enumerate(stations):
+        if not mask[int(origin)]:
+            continue
+        result = parallel_profile_search(
+            graph,
+            int(origin),
+            num_threads,
+            strategy=strategy,
+            kernel=kernel,
+            arrays=arrays,
+        )
+        settled += result.stats.settled_connections
+        row: list[Profile] = [empty] * n
+        for b, dest in enumerate(stations):
+            if a == b:
+                continue
+            row[b] = result.profile(int(dest))
+        profiles[a] = row
+    build_seconds = time.perf_counter() - t0
+
+    return DistanceTable(
+        transfer_stations=stations,
+        index_of=table.index_of,
+        profiles=profiles,
+        period=period,
+        build_seconds=build_seconds,
+        build_settled=settled,
+    )

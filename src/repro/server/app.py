@@ -328,6 +328,8 @@ class TransitServer(BaseAsyncHttpServer):
             name,
             command.delays,
             slack_per_leg=command.slack_per_leg,
+            replan=command.replan,
+            advance=command.advance,
             run=self.executor.run,
         )
         self.metrics.observe_swap(name, entry.last_swap_seconds)
@@ -346,6 +348,7 @@ class TransitServer(BaseAsyncHttpServer):
             name,
             command.delays,
             slack_per_leg=command.slack_per_leg,
+            replan=command.replan,
             run=self.executor.run,
         )
         entry = self.registry.get(name)

@@ -180,7 +180,9 @@ def _station_field(
 _PROFILE_FIELDS = frozenset({"v", "source", "num_threads", "targets"})
 _JOURNEY_FIELDS = frozenset({"v", "source", "target", "departure"})
 _BATCH_FIELDS = frozenset({"v", "journeys", "profiles"})
-_DELAY_FIELDS = frozenset({"v", "delays", "slack_per_leg", "mode", "token"})
+_DELAY_FIELDS = frozenset(
+    {"v", "delays", "slack_per_leg", "mode", "token", "replan", "generations"}
+)
 _DELAY_ITEM_FIELDS = frozenset({"train", "minutes", "from_stop"})
 
 #: Hot-swap phases on ``POST /v1/datasets/{name}/delays``.  ``apply``
@@ -192,6 +194,13 @@ _DELAY_ITEM_FIELDS = frozenset({"train", "minutes", "from_stop"})
 #: ever observes a mixed old/new answer across workers
 #: (``docs/FLEET.md``).
 DELAY_MODES = ("apply", "prepare", "commit", "abort")
+
+#: How the worker re-derives travel-time artifacts for a batch.
+#: ``full`` (the default and the oracle) cold-rebuilds graph, arrays
+#: and table; ``incremental`` delta-replans only what the batch touches
+#: (:func:`repro.service.prepare.replan_dataset`) — bitwise-identical
+#: answers, much cheaper for small batches (``docs/STREAMS.md``).
+DELAY_REPLAN_MODES = ("full", "incremental")
 
 
 def parse_profile_request(
@@ -319,12 +328,21 @@ class DelayCommand:
 
     ``apply``/``prepare`` carry the delay batch (``delays`` non-empty,
     ``token`` ``None``); ``commit``/``abort`` carry only the ``token``
-    a prior ``prepare`` answered with (``delays`` empty)."""
+    a prior ``prepare`` answered with (``delays`` empty).
+
+    ``replan`` picks the rebuild strategy (:data:`DELAY_REPLAN_MODES`);
+    ``advance`` is how many logical delay batches this request
+    represents — always 1 except for coalesced fleet catch-up posts
+    (wire field ``generations``), where one apply stands in for a run
+    of committed batches and the worker's generation must advance by
+    the whole run (``docs/FLEET.md``)."""
 
     mode: str
     delays: tuple[Delay, ...]
     slack_per_leg: int
     token: int | None
+    replan: str = "full"
+    advance: int = 1
 
 
 def parse_delay_request(body: object, num_trains: int) -> DelayCommand:
@@ -345,7 +363,7 @@ def parse_delay_request(body: object, num_trains: int) -> DelayCommand:
             field="mode",
         )
     if mode in ("commit", "abort"):
-        for name in ("delays", "slack_per_leg"):
+        for name in ("delays", "slack_per_leg", "replan", "generations"):
             if name in obj:
                 raise ProtocolError(
                     "invalid_request",
@@ -364,6 +382,24 @@ def parse_delay_request(body: object, num_trains: int) -> DelayCommand:
             f"(tokens are answered by prepare)",
             field="token",
         )
+    replan = obj.get("replan", "full")
+    if replan not in DELAY_REPLAN_MODES:
+        raise ProtocolError(
+            "invalid_request",
+            f"delay request replan must be one of {list(DELAY_REPLAN_MODES)}, "
+            f"got {replan!r}",
+            field="replan",
+        )
+    if mode == "prepare" and "generations" in obj:
+        raise ProtocolError(
+            "invalid_request",
+            "a prepare request must not carry 'generations' "
+            "(coalesced catch-up is apply-only)",
+            field="generations",
+        )
+    advance = _int_field(
+        obj, "generations", where="delay request", default=1, lo=1
+    )
     raw = obj.get("delays")
     if not isinstance(raw, list) or not raw:
         raise ProtocolError(
@@ -390,7 +426,12 @@ def parse_delay_request(body: object, num_trains: int) -> DelayCommand:
         )
         delays.append(Delay(train=train, minutes=minutes, from_stop=from_stop))
     return DelayCommand(
-        mode=mode, delays=tuple(delays), slack_per_leg=slack, token=None
+        mode=mode,
+        delays=tuple(delays),
+        slack_per_leg=slack,
+        token=None,
+        replan=replan,
+        advance=advance,
     )
 
 

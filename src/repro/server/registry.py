@@ -188,6 +188,8 @@ class DatasetRegistry:
         delays: Sequence[Delay],
         *,
         slack_per_leg: int = 0,
+        replan: str = "full",
+        advance: int = 1,
         run: Callable[[Callable[[], TransitService]], Awaitable[TransitService]]
         | None = None,
     ) -> DatasetEntry:
@@ -201,12 +203,19 @@ class DatasetRegistry:
         admission and drain against it.  ``ValueError`` from
         ``apply_delays`` (unknown train, ``from_stop`` past the run)
         propagates for the caller to map to a client error.
+
+        ``replan`` selects the rebuild strategy (full cold rebuild or
+        the incremental delta replan — identical answers either way);
+        ``advance`` is the number of logical batches this request
+        represents: 1 normally, more for a coalesced fleet catch-up
+        post, so the entry's generation stays in lockstep with the
+        gateway's committed-batch count (``docs/FLEET.md``).
         """
         entry = self.get(name)
         async with entry._swap_lock:
             old = entry.service
             build = lambda: old.apply_delays(  # noqa: E731
-                delays, slack_per_leg=slack_per_leg
+                delays, slack_per_leg=slack_per_leg, mode=replan
             )
             t0 = time.perf_counter()
             new = await run(build) if run is not None else build()
@@ -214,7 +223,7 @@ class DatasetRegistry:
             # The atomic swap: requests admitted from here on resolve
             # entry.service to the replanned instance.
             entry.service = new
-            entry.generation += 1
+            entry.generation += advance
             # Any pending prepared swap replanned the pre-apply
             # generation and could never commit (the stale-generation
             # check would reject it) — discard it now so the dataset
@@ -232,6 +241,7 @@ class DatasetRegistry:
         delays: Sequence[Delay],
         *,
         slack_per_leg: int = 0,
+        replan: str = "full",
         run: Callable[[Callable[[], TransitService]], Awaitable[TransitService]]
         | None = None,
     ) -> tuple[int, float]:
@@ -255,7 +265,7 @@ class DatasetRegistry:
                 )
             old = entry.service
             build = lambda: old.apply_delays(  # noqa: E731
-                delays, slack_per_leg=slack_per_leg
+                delays, slack_per_leg=slack_per_leg, mode=replan
             )
             t0 = time.perf_counter()
             new = await run(build) if run is not None else build()

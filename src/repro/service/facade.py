@@ -59,6 +59,7 @@ from repro.service.prepare import (
     PreparedDataset,
     PrepareStats,
     prepare_dataset,
+    replan_dataset,
 )
 from repro.timetable.delays import Delay, apply_delays as _delay_timetable
 from repro.timetable.types import Timetable
@@ -387,6 +388,7 @@ class TransitService:
         delays: Sequence[Delay],
         *,
         slack_per_leg: int = 0,
+        mode: str = "full",
     ) -> "TransitService":
         """A new service for the delayed timetable (§5.1).
 
@@ -397,21 +399,42 @@ class TransitService:
         exactly those of a cold service built from the delayed
         timetable (``tests/service/test_delay_replanning.py``).
 
+        ``mode`` selects how the travel-time artifacts are re-derived:
+
+        * ``"full"`` (default, the oracle) — cold rebuild of graph,
+          packed arrays and distance table via :func:`prepare_dataset`.
+        * ``"incremental"`` — delta replan via :func:`replan_dataset`:
+          only the travel-time functions of routes carrying a delayed
+          train are rebuilt, the packed arrays are slice-patched, and
+          only the distance-table rows whose searches can observe a
+          changed edge are recomputed.  Pinned bitwise-equal to the
+          full rebuild (``tests/streams/test_incremental_equivalence.py``).
+
         The returned service starts with an **empty result cache**:
         answers cached before the delays can never be served for the
         delayed timetable (``tests/service/test_result_cache.py``).
         This service and its cache stay valid for the original
         timetable.
         """
+        if mode not in ("full", "incremental"):
+            raise ValueError(
+                f"mode must be 'full' or 'incremental', got {mode!r}"
+            )
+        delays = list(delays)
         delayed = _delay_timetable(
-            self.timetable, list(delays), slack_per_leg=slack_per_leg
+            self.timetable, delays, slack_per_leg=slack_per_leg
         )
-        prepared = prepare_dataset(
-            delayed,
-            self.config,
-            station_graph=self.prepared.station_graph,
-            transfer_stations=self.prepared.transfer_stations,
-        )
+        if mode == "incremental":
+            prepared = replan_dataset(
+                self.prepared, delayed, {d.train for d in delays}
+            )
+        else:
+            prepared = prepare_dataset(
+                delayed,
+                self.config,
+                station_graph=self.prepared.station_graph,
+                transfer_stations=self.prepared.transfer_stations,
+            )
         return TransitService(delayed, self.config, prepared=prepared)
 
     # -- internals ------------------------------------------------------

@@ -25,7 +25,16 @@ import numpy as np
 from repro.graph.station_graph import StationGraph, build_station_graph
 from repro.graph.td_arrays import TDGraphArrays, packed_arrays
 from repro.graph.td_model import TDGraph, build_td_graph
-from repro.query.distance_table import DistanceTable, build_distance_table
+from repro.graph.td_patch import (
+    patch_td_arrays,
+    patch_td_graph,
+    stations_reaching,
+)
+from repro.query.distance_table import (
+    DistanceTable,
+    build_distance_table,
+    patch_distance_table,
+)
 from repro.query.transfer_selection import select_transfer_stations
 from repro.service.config import ServiceConfig
 from repro.timetable.types import Timetable
@@ -61,6 +70,14 @@ class PrepareStats:
     table_mib: float
     shared_station_graph: bool = False
     loaded_from_store: bool = False
+    #: True when this dataset was produced by the incremental delta
+    #: replan (:func:`replan_dataset`) instead of a full rebuild.
+    incremental: bool = False
+    #: Route legs whose travel-time function was rebuilt (incremental
+    #: replans only; zero for full builds).
+    rebuilt_legs: int = 0
+    #: Distance-table rows recomputed (incremental replans only).
+    patched_table_rows: int = 0
 
 
 @dataclass
@@ -184,6 +201,98 @@ def prepare_dataset(
         station_graph=station_graph,
         arrays=arrays,
         transfer_stations=transfer_stations,
+        table=table,
+        stats=stats,
+    )
+
+
+def replan_dataset(
+    prepared: PreparedDataset,
+    delayed: Timetable,
+    touched_trains: set[int],
+) -> PreparedDataset:
+    """Incremental delta replan: a :class:`PreparedDataset` for the
+    delayed timetable, patched from ``prepared`` instead of rebuilt.
+
+    ``delayed`` must be ``apply_delays(prepared.timetable, batch)`` and
+    ``touched_trains`` the trains that batch names.  Only the
+    travel-time functions of routes carrying a touched train are
+    rebuilt (:func:`~repro.graph.td_patch.patch_td_graph`), the packed
+    arrays are slice-patched, and — when a table is configured — only
+    the rows whose source can reach a changed edge are recomputed
+    (:func:`~repro.query.distance_table.patch_distance_table`).  The
+    result is value-identical to ``prepare_dataset(delayed, config,
+    station_graph=..., transfer_stations=...)``; the full rebuild
+    remains the oracle (``tests/streams/test_incremental_equivalence.py``).
+    """
+    config = prepared.config
+    t_start = time.perf_counter()
+
+    t0 = time.perf_counter()
+    graph, patch = patch_td_graph(prepared.graph, delayed, touched_trains)
+    graph_seconds = time.perf_counter() - t0
+
+    arrays: TDGraphArrays | None = None
+    pack_seconds = 0.0
+    packed_bytes = 0
+    if prepared.arrays is not None:
+        t0 = time.perf_counter()
+        arrays = patch_td_arrays(prepared.arrays, graph, patch)
+        arrays.kernel_adjacency()
+        pack_seconds = time.perf_counter() - t0
+        packed_bytes = arrays.nbytes()
+
+    table: DistanceTable | None = None
+    table_seconds = 0.0
+    table_mib = 0.0
+    patched_rows = 0
+    if prepared.table is not None:
+        t0 = time.perf_counter()
+        affected = stations_reaching(
+            prepared.station_graph,
+            patch.trigger_stations | patch.changed_stations,
+        )
+        table = patch_distance_table(
+            prepared.table,
+            graph,
+            affected,
+            num_threads=config.num_threads,
+            strategy=config.strategy,
+            kernel=config.kernel,
+            arrays=arrays,
+        )
+        patched_rows = sum(
+            1 for s in table.transfer_stations if affected[int(s)]
+        )
+        table_seconds = time.perf_counter() - t0
+        table_mib = table.size_mib()
+
+    stats = PrepareStats(
+        graph_seconds=graph_seconds,
+        station_graph_seconds=0.0,
+        pack_seconds=pack_seconds,
+        selection_seconds=0.0,
+        table_seconds=table_seconds,
+        total_seconds=time.perf_counter() - t_start,
+        num_stations=delayed.num_stations,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        num_connections=len(delayed.connections),
+        packed_bytes=packed_bytes,
+        num_transfer_stations=prepared.stats.num_transfer_stations,
+        table_mib=table_mib,
+        shared_station_graph=True,
+        incremental=True,
+        rebuilt_legs=patch.rebuilt_legs,
+        patched_table_rows=patched_rows,
+    )
+    return PreparedDataset(
+        timetable=delayed,
+        config=config,
+        graph=graph,
+        station_graph=prepared.station_graph,
+        arrays=arrays,
+        transfer_stations=prepared.transfer_stations,
         table=table,
         stats=stats,
     )

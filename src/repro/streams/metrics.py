@@ -1,0 +1,97 @@
+"""Client-side accounting of one stream replay.
+
+The replay harness is multi-threaded (closed-loop query workers plus
+one delay poster — :mod:`repro.streams.replay`), so unlike the
+server/gateway metrics (loop-confined, lock-free) this collector takes
+a real lock: every observation and the final snapshot synchronize on
+``_lock``.
+"""
+
+from __future__ import annotations
+
+from threading import Lock
+
+__all__ = ["ReplayMetrics"]
+
+
+class ReplayMetrics:
+    """Thread-safe counters for one replay run."""
+
+    def __init__(self) -> None:
+        self._lock = Lock()
+        self.queries_total = 0  # guarded-by: _lock
+        self.query_failures_total = 0  # guarded-by: _lock
+        self.query_seconds_sum = 0.0  # guarded-by: _lock
+        self.query_seconds_max = 0.0  # guarded-by: _lock
+        self.delay_posts_total = 0  # guarded-by: _lock
+        self.delay_failures_total = 0  # guarded-by: _lock
+        self.swap_seconds = []  # guarded-by: _lock
+        self.last_generation = 0  # guarded-by: _lock
+        #: ``{error type name: count}`` across both traffic kinds.
+        self.errors: dict[str, int] = {}  # guarded-by: _lock
+
+    # -- observation hooks ---------------------------------------------
+
+    def observe_query(self, seconds: float) -> None:
+        with self._lock:
+            self.queries_total += 1
+            self.query_seconds_sum += seconds
+            if seconds > self.query_seconds_max:
+                self.query_seconds_max = seconds
+
+    def observe_query_failure(self, error: str) -> None:
+        with self._lock:
+            self.queries_total += 1
+            self.query_failures_total += 1
+            self.errors[error] = self.errors.get(error, 0) + 1
+
+    def observe_delay_post(self, swap_seconds: float, generation: int) -> None:
+        with self._lock:
+            self.delay_posts_total += 1
+            self.swap_seconds.append(swap_seconds)
+            self.last_generation = generation
+
+    def observe_delay_failure(self, error: str) -> None:
+        with self._lock:
+            self.delay_posts_total += 1
+            self.delay_failures_total += 1
+            self.errors[error] = self.errors.get(error, 0) + 1
+
+    # -- rendering ------------------------------------------------------
+
+    def snapshot(self, elapsed_seconds: float) -> dict:
+        """JSON-safe summary; ``elapsed_seconds`` is the wall clock of
+        the whole replay (rates are derived from it)."""
+        with self._lock:
+            swaps = list(self.swap_seconds)
+            queries = self.queries_total
+            committed = self.delay_posts_total - self.delay_failures_total
+            return {
+                "elapsed_seconds": round(elapsed_seconds, 6),
+                "queries_total": queries,
+                "query_failures_total": self.query_failures_total,
+                "query_seconds_mean": round(
+                    self.query_seconds_sum / queries, 6
+                )
+                if queries
+                else 0.0,
+                "query_seconds_max": round(self.query_seconds_max, 6),
+                "queries_per_second": round(
+                    queries / elapsed_seconds, 3
+                )
+                if elapsed_seconds > 0
+                else 0.0,
+                "delay_posts_total": self.delay_posts_total,
+                "delay_failures_total": self.delay_failures_total,
+                "replans_per_second": round(
+                    committed / elapsed_seconds, 3
+                )
+                if elapsed_seconds > 0
+                else 0.0,
+                "swap_seconds_max": round(max(swaps), 6) if swaps else 0.0,
+                "swap_seconds_mean": round(sum(swaps) / len(swaps), 6)
+                if swaps
+                else 0.0,
+                "last_generation": self.last_generation,
+                "errors": dict(self.errors),
+            }

@@ -1,0 +1,167 @@
+"""The delay-stream interchange format.
+
+A stream is a named, seeded sequence of timestamped delay batches
+against one timetable — the GTFS-RT-shaped input of the replay harness
+(:mod:`repro.streams.replay`).  Offsets are seconds from stream start;
+each event is exactly one wire-shaped delay batch (the same ``delays``
++ ``slack_per_leg`` the ``/delays`` endpoint accepts), so replaying an
+event is one ``apply`` POST.
+
+The JSON document is self-contained and versioned::
+
+    {"v": 1, "kind": "delay-stream", "name": ..., "seed": ...,
+     "period": ..., "num_trains": ...,
+     "events": [{"t_offset_s": 0.5, "slack_per_leg": 0,
+                 "delays": [{"train": 3, "minutes": 7, "from_stop": 2}]}]}
+
+``period``/``num_trains`` pin the timetable the stream was generated
+against, so the replay harness can reject a stream aimed at a
+different dataset before posting anything.  Field conventions follow
+the wire protocol: optional fields are omitted when they hold the
+default, never sent as ``null``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.timetable.delays import Delay
+
+STREAM_KIND = "delay-stream"
+STREAM_VERSION = 1
+
+
+class StreamFormatError(ValueError):
+    """A stream document that does not match the schema."""
+
+
+@dataclass(frozen=True, slots=True)
+class DelayEvent:
+    """One timestamped delay batch."""
+
+    t_offset_s: float
+    delays: tuple[Delay, ...]
+    slack_per_leg: int = 0
+
+    def __post_init__(self) -> None:
+        if self.t_offset_s < 0:
+            raise ValueError(
+                f"t_offset_s must be >= 0, got {self.t_offset_s}"
+            )
+        if not self.delays:
+            raise ValueError("an event needs at least one delay")
+        if self.slack_per_leg < 0:
+            raise ValueError(
+                f"slack_per_leg must be >= 0, got {self.slack_per_leg}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class DelayStream:
+    """A named, seeded sequence of delay events (offsets ascending)."""
+
+    name: str
+    seed: int
+    period: int
+    num_trains: int
+    events: tuple[DelayEvent, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        for earlier, later in zip(self.events, self.events[1:]):
+            if later.t_offset_s < earlier.t_offset_s:
+                raise ValueError("event offsets must be non-decreasing")
+
+    @property
+    def num_events(self) -> int:
+        return len(self.events)
+
+    @property
+    def duration_s(self) -> float:
+        return self.events[-1].t_offset_s if self.events else 0.0
+
+    # -- (de)serialization ---------------------------------------------
+
+    def to_json(self) -> dict:
+        events = []
+        for event in self.events:
+            delays = []
+            for d in event.delays:
+                item: dict = {"train": d.train, "minutes": d.minutes}
+                if d.from_stop:
+                    item["from_stop"] = d.from_stop
+                delays.append(item)
+            obj: dict = {
+                "t_offset_s": event.t_offset_s,
+                "delays": delays,
+            }
+            if event.slack_per_leg:
+                obj["slack_per_leg"] = event.slack_per_leg
+            events.append(obj)
+        return {
+            "v": STREAM_VERSION,
+            "kind": STREAM_KIND,
+            "name": self.name,
+            "seed": self.seed,
+            "period": self.period,
+            "num_trains": self.num_trains,
+            "events": events,
+        }
+
+    @classmethod
+    def from_json(cls, obj: object) -> "DelayStream":
+        if not isinstance(obj, dict):
+            raise StreamFormatError(
+                f"stream document must be an object, got {type(obj).__name__}"
+            )
+        if obj.get("kind") != STREAM_KIND:
+            raise StreamFormatError(
+                f"kind must be {STREAM_KIND!r}, got {obj.get('kind')!r}"
+            )
+        if obj.get("v") != STREAM_VERSION:
+            raise StreamFormatError(
+                f"unsupported stream version {obj.get('v')!r}"
+            )
+        try:
+            events = []
+            for i, raw in enumerate(obj.get("events", [])):
+                delays = tuple(
+                    Delay(
+                        train=item["train"],
+                        minutes=item["minutes"],
+                        from_stop=item.get("from_stop", 0),
+                    )
+                    for item in raw["delays"]
+                )
+                events.append(
+                    DelayEvent(
+                        t_offset_s=float(raw["t_offset_s"]),
+                        delays=delays,
+                        slack_per_leg=raw.get("slack_per_leg", 0),
+                    )
+                )
+            return cls(
+                name=str(obj["name"]),
+                seed=int(obj["seed"]),
+                period=int(obj["period"]),
+                num_trains=int(obj["num_trains"]),
+                events=tuple(events),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StreamFormatError(f"malformed stream document: {exc}") from None
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_json(), indent=2, sort_keys=False) + "\n"
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DelayStream":
+        try:
+            obj = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise StreamFormatError(
+                f"stream file {path} is not valid JSON: {exc}"
+            ) from None
+        return cls.from_json(obj)

@@ -14,7 +14,10 @@ the same *shape* at laptop scale (DESIGN.md §3):
   railway networks (low ratio — the Europe scalability anomaly, §5.1);
 * :mod:`repro.synthetic.instances` — the five named instances mirroring
   the paper's inputs, with a ``scale`` knob;
-* :mod:`repro.synthetic.workloads` — reproducible random query sets.
+* :mod:`repro.synthetic.workloads` — reproducible random query sets;
+* :mod:`repro.synthetic.delays` — seeded GTFS-RT-style delay streams
+  (rush-hour cascades, rolling disruptions, line closures, recoveries)
+  for the replay harness (:mod:`repro.streams`).
 """
 
 from repro.synthetic.schedules import SchedulePattern, daily_departures
@@ -26,6 +29,7 @@ from repro.synthetic.instances import (
     make_instance,
 )
 from repro.synthetic.workloads import random_sources, random_station_pairs
+from repro.synthetic.delays import STREAM_SHAPES, generate_delay_stream
 
 __all__ = [
     "SchedulePattern",
@@ -39,4 +43,6 @@ __all__ = [
     "make_instance",
     "random_sources",
     "random_station_pairs",
+    "STREAM_SHAPES",
+    "generate_delay_stream",
 ]

@@ -21,6 +21,22 @@ Semantics:
   resulting leg can violate FIFO, which the search stack handles (the
   edge evaluation takes the lower envelope; see
   ``tests/core/test_robustness.py``).
+
+Composition rule (pinned by ``tests/timetable/test_delays.py``):
+
+* **Within one batch**, the order of the ``delays`` list never
+  matters: each leg sums the minutes of every delay anchored at it
+  (addition commutes), and only then applies slack downstream.  Two
+  delays on the *same train* — even at the same stop — are additive.
+* **Across batches**, lateness resets per call: applying batch A then
+  batch B to the result equals one combined batch **iff no batch
+  carries slack** (``slack_per_leg == 0``), because slack's
+  ``max(0, late - slack)`` clamp is non-linear in the accumulated
+  lateness.  Slack-free batches therefore coalesce exactly —
+  bitwise — which is what lets the fleet gateway collapse a replay
+  log into one bounded catch-up post
+  (:func:`repro.fleet.catchup.coalesce_delay_log`); a slack-bearing
+  batch is a sequencing barrier and must be replayed in place.
 """
 
 from __future__ import annotations

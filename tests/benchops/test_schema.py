@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.benchops import (
+    RECORD_SHAPES,
     BenchRecord,
     RecordError,
     emit_record,
@@ -96,6 +97,47 @@ class TestValidation:
         del raw["machine"]["cpu_count"]
         with pytest.raises(RecordError, match="cpu_count"):
             validate_record(raw)
+
+
+class TestRecordShapes:
+    """Benchmarks registered in RECORD_SHAPES must carry their
+    required metrics — a renamed metric would otherwise silently
+    drop out of the regression gate, which only compares metrics
+    present on both sides."""
+
+    def _shaped_record(self) -> BenchRecord:
+        benchmark, names = next(iter(RECORD_SHAPES.items()))
+        return BenchRecord.capture(
+            benchmark,
+            scale="tiny",
+            metrics={name: 1.0 for name in names},
+        )
+
+    def test_registry_is_non_empty_and_well_formed(self):
+        assert RECORD_SHAPES
+        for benchmark, names in RECORD_SHAPES.items():
+            assert names, benchmark
+            assert len(set(names)) == len(names), benchmark
+
+    def test_full_shape_validates(self):
+        record = self._shaped_record()
+        assert validate_record(record.to_dict()) == record
+
+    def test_extra_metrics_are_allowed(self):
+        raw = self._shaped_record().to_dict()
+        raw["metrics"]["extra_ms"] = 5.0
+        assert validate_record(raw).metrics["extra_ms"] == 5.0
+
+    def test_rejects_missing_required_metric(self):
+        raw = self._shaped_record().to_dict()
+        dropped = next(iter(RECORD_SHAPES[raw["benchmark"]]))
+        del raw["metrics"][dropped]
+        with pytest.raises(RecordError, match=dropped):
+            validate_record(raw)
+
+    def test_unregistered_benchmarks_are_shape_free(self):
+        assert "demo_bench" not in RECORD_SHAPES
+        assert validate_record(make_record().to_dict())
 
 
 class TestEmit:

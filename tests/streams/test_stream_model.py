@@ -1,0 +1,170 @@
+"""The delay-stream format and the synthetic stream generator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.streams import DelayEvent, DelayStream, StreamFormatError
+from repro.synthetic.delays import STREAM_SHAPES, generate_delay_stream
+from repro.synthetic.instances import make_instance
+from repro.timetable.delays import Delay, apply_delays
+
+from tests.helpers import random_line_timetable
+
+
+def _stream(**overrides) -> DelayStream:
+    events = (
+        DelayEvent(t_offset_s=0.5, delays=(Delay(train=0, minutes=7),)),
+        DelayEvent(
+            t_offset_s=2.0,
+            delays=(
+                Delay(train=1, minutes=3, from_stop=1),
+                Delay(train=0, minutes=2),
+            ),
+            slack_per_leg=2,
+        ),
+    )
+    fields = dict(
+        name="unit", seed=4, period=1440, num_trains=10, events=events
+    )
+    fields.update(overrides)
+    return DelayStream(**fields)
+
+
+class TestModel:
+    def test_round_trip_is_exact(self, tmp_path):
+        stream = _stream()
+        path = tmp_path / "s.json"
+        stream.save(path)
+        assert DelayStream.load(path) == stream
+        # And the document itself survives a JSON round trip.
+        assert DelayStream.from_json(
+            json.loads(json.dumps(stream.to_json()))
+        ) == stream
+
+    def test_wire_conventions_omit_defaults(self):
+        doc = _stream().to_json()
+        first = doc["events"][0]
+        assert "slack_per_leg" not in first
+        assert "from_stop" not in first["delays"][0]
+        second = doc["events"][1]
+        assert second["slack_per_leg"] == 2
+        assert second["delays"][0]["from_stop"] == 1
+
+    def test_rejects_wrong_kind_and_version(self):
+        doc = _stream().to_json()
+        with pytest.raises(StreamFormatError, match="kind"):
+            DelayStream.from_json({**doc, "kind": "nonsense"})
+        with pytest.raises(StreamFormatError, match="version"):
+            DelayStream.from_json({**doc, "v": 99})
+        with pytest.raises(StreamFormatError, match="object"):
+            DelayStream.from_json([1, 2])
+
+    def test_rejects_malformed_events(self):
+        doc = _stream().to_json()
+        broken = {**doc, "events": [{"t_offset_s": 1.0, "delays": []}]}
+        with pytest.raises(StreamFormatError, match="malformed"):
+            DelayStream.from_json(broken)
+
+    def test_rejects_unordered_offsets(self):
+        events = (
+            DelayEvent(t_offset_s=5.0, delays=(Delay(train=0, minutes=1),)),
+            DelayEvent(t_offset_s=1.0, delays=(Delay(train=0, minutes=1),)),
+        )
+        with pytest.raises(ValueError, match="non-decreasing"):
+            _stream(events=events)
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError, match="t_offset_s"):
+            DelayEvent(t_offset_s=-1.0, delays=(Delay(train=0, minutes=1),))
+        with pytest.raises(ValueError, match="at least one"):
+            DelayEvent(t_offset_s=0.0, delays=())
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(StreamFormatError, match="not valid JSON"):
+            DelayStream.load(path)
+
+    def test_duration_and_counts(self):
+        stream = _stream()
+        assert stream.num_events == 2
+        assert stream.duration_s == 2.0
+        assert DelayStream(
+            name="empty", seed=0, period=1440, num_trains=1
+        ).duration_s == 0.0
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def timetable(self):
+        return make_instance("oahu", scale="tiny")
+
+    def test_deterministic_in_seed(self, timetable):
+        a = generate_delay_stream(timetable, seed=3, num_events=12)
+        b = generate_delay_stream(timetable, seed=3, num_events=12)
+        c = generate_delay_stream(timetable, seed=4, num_events=12)
+        assert a == b
+        assert a != c
+
+    def test_pins_the_timetable(self, timetable):
+        stream = generate_delay_stream(timetable, seed=1, num_events=3)
+        assert stream.period == timetable.period
+        assert stream.num_trains == timetable.num_trains
+
+    def test_every_event_applies_cleanly(self, timetable):
+        """Generated delays always respect each train's run length —
+        ``apply_delays`` validates ``from_stop`` and would reject a
+        delay past the last departure."""
+        stream = generate_delay_stream(timetable, seed=7, num_events=25)
+        current = timetable
+        for event in stream.events:
+            current = apply_delays(
+                current, list(event.delays),
+                slack_per_leg=event.slack_per_leg,
+            )
+        assert current.num_trains == timetable.num_trains
+
+    def test_shape_restriction(self, timetable):
+        stream = generate_delay_stream(
+            timetable, seed=2, num_events=8, shapes=("recovering_delay",)
+        )
+        assert all(e.slack_per_leg >= 1 for e in stream.events)
+        closed = generate_delay_stream(
+            timetable, seed=2, num_events=4, shapes=("line_closure",)
+        )
+        # A closure holds every train of one route from its first stop.
+        assert all(
+            all(d.from_stop == 0 for d in e.delays) for e in closed.events
+        )
+
+    def test_respects_bounds(self, timetable):
+        stream = generate_delay_stream(
+            timetable,
+            seed=5,
+            num_events=10,
+            duration_s=30.0,
+            shapes=("rush_hour_cascade", "rolling_disruption"),
+            max_trains_per_event=3,
+        )
+        assert stream.num_events == 10
+        assert stream.duration_s <= 30.0
+        assert all(len(e.delays) <= 3 for e in stream.events)
+
+    def test_rejects_bad_arguments(self, timetable):
+        with pytest.raises(ValueError, match="num_events"):
+            generate_delay_stream(timetable, num_events=0)
+        with pytest.raises(ValueError, match="unknown stream shapes"):
+            generate_delay_stream(timetable, shapes=("bogus",))
+        with pytest.raises(ValueError, match="max_trains_per_event"):
+            generate_delay_stream(timetable, max_trains_per_event=0)
+
+    def test_composes_with_random_line_instances(self):
+        timetable = random_line_timetable(11, num_stations=8, num_lines=5)
+        stream = generate_delay_stream(timetable, seed=0, num_events=6)
+        assert stream.num_events == 6
+        assert set(STREAM_SHAPES) >= {
+            "rush_hour_cascade", "line_closure",
+        }

@@ -121,6 +121,82 @@ class TestApplyDelays:
         validate_timetable(delayed, require_fifo=False)
 
 
+class TestCompositionRule:
+    """The batch composition rule the module docstring documents and
+    the fleet catch-up coalescer (:mod:`repro.fleet.catchup`) relies
+    on: order never matters within a batch; slack-free batches
+    coalesce additively across batches; slack makes a batch a
+    sequencing barrier."""
+
+    BATCH = [
+        Delay(train=0, minutes=4, from_stop=0),
+        Delay(train=0, minutes=6, from_stop=1),
+        Delay(train=1, minutes=9),
+        Delay(train=0, minutes=3, from_stop=1),  # same-stop duplicate
+    ]
+
+    def _connections(self, timetable):
+        return [
+            (c.train, c.dep_station, c.arr_station, c.dep_time, c.arr_time)
+            for c in timetable.connections
+        ]
+
+    def test_order_independent_within_batch(self):
+        """Every permutation of one batch — including same-train and
+        same-stop duplicates — yields the identical timetable, with
+        and without slack."""
+        import itertools
+
+        tt = toy_timetable()
+        for slack in (0, 2):
+            reference = self._connections(
+                apply_delays(tt, self.BATCH, slack_per_leg=slack)
+            )
+            for perm in itertools.permutations(self.BATCH):
+                assert (
+                    self._connections(
+                        apply_delays(tt, list(perm), slack_per_leg=slack)
+                    )
+                    == reference
+                ), f"permutation changed the result (slack={slack})"
+
+    def test_same_stop_duplicates_are_additive(self):
+        tt = toy_timetable()
+        doubled = apply_delays(
+            tt,
+            [Delay(train=0, minutes=5), Delay(train=0, minutes=7)],
+        )
+        summed = apply_delays(tt, [Delay(train=0, minutes=12)])
+        assert self._connections(doubled) == self._connections(summed)
+
+    def test_slack_free_batches_coalesce_exactly(self):
+        """Sequential slack-free batches ≡ one merged batch, bitwise —
+        the soundness condition of the gateway's catch-up coalescing."""
+        tt = toy_timetable()
+        batch_a = [Delay(train=0, minutes=4), Delay(train=1, minutes=2)]
+        batch_b = [Delay(train=0, minutes=6, from_stop=1), Delay(train=1, minutes=3)]
+        sequential = apply_delays(apply_delays(tt, batch_a), batch_b)
+        merged = apply_delays(tt, batch_a + batch_b)
+        assert self._connections(sequential) == self._connections(merged)
+
+    def test_slack_batches_are_sequencing_barriers(self):
+        """With slack the clamp is non-linear: sequential application
+        differs from the merged batch, so coalescing across a
+        slack-bearing batch would be unsound."""
+        tt = toy_timetable()
+        batch_a = [Delay(train=0, minutes=5)]
+        batch_b = [Delay(train=0, minutes=5)]
+        sequential = apply_delays(
+            apply_delays(tt, batch_a, slack_per_leg=3),
+            batch_b,
+            slack_per_leg=3,
+        )
+        merged = apply_delays(tt, batch_a + batch_b, slack_per_leg=3)
+        # Leg 1: sequential recovers slack twice (2 + 2 = 4 late),
+        # merged once on the sum (10 - 3 = 7 late).
+        assert self._connections(sequential) != self._connections(merged)
+
+
 class TestQueriesUnderDelays:
     def test_no_preprocessing_needed(self):
         """The paper's dynamic-scenario claim: after a delay, rebuild the
