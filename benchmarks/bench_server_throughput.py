@@ -74,8 +74,21 @@ CONFIG = ServiceConfig(
 )
 
 
-def _drive(harness: ServerHarness, pairs, requests_per_client) -> dict:
-    """Run the closed loop; returns QPS + latency percentiles."""
+def _journey_call(backend: HttpBackend, item) -> None:
+    source, target = item
+    answer = backend.journey(source, target)
+    assert answer.source == source and answer.target == target
+
+
+def _drive(
+    harness: ServerHarness, pairs, requests_per_client, *, call=_journey_call
+) -> dict:
+    """Run the closed loop; returns QPS + latency percentiles.
+
+    ``call(backend, item)`` issues one request for one workload item
+    (default: a journey for a ``(source, target)`` pair); the latency
+    sample wraps exactly that one exchange.
+    """
     latencies: list[list[float]] = [[] for _ in range(CLIENTS)]
     barrier = threading.Barrier(CLIENTS + 1)
 
@@ -92,11 +105,10 @@ def _drive(harness: ServerHarness, pairs, requests_per_client) -> dict:
         try:
             barrier.wait()
             for i in range(requests_per_client):
-                source, target = pairs[(cid * requests_per_client + i) % len(pairs)]
+                item = pairs[(cid * requests_per_client + i) % len(pairs)]
                 t0 = time.perf_counter()
-                answer = backend.journey(source, target)
+                call(backend, item)
                 latencies[cid].append(time.perf_counter() - t0)
-                assert answer.source == source and answer.target == target
         finally:
             backend.close()
 
@@ -221,6 +233,127 @@ def test_micro_batching_beats_naive_dispatch(report, benchops, scale):
         f"{micro['qps']:.0f} vs {naive['qps']:.0f} QPS "
         f"(need >{MIN_ADVANTAGE:.2f}x)"
     )
+
+
+# ---------------------------------------------------------------------------
+# Query zoo: the three promoted shapes under closed-loop serving load.
+# ---------------------------------------------------------------------------
+
+#: Requests per client per zoo shape (each shape pays a full §6 search
+#: or two chained profile queries per request — heavier than the
+#: table-classified journeys above).
+ZOO_REQUESTS = {"tiny": 20, "small": 30, "medium": 40}
+#: One anchored departure: the zoo shapes are time queries.
+ZOO_DEPARTURE = 480
+
+
+def test_query_zoo_serving_throughput(report, benchops, scale):
+    """Closed-loop QPS + latency for multicriteria, via and
+    min-transfers through the production server path.
+
+    Same harness and client discipline as the journey bench above, one
+    served dataset, result cache off — so each request pays its real
+    query cost and the recorded per-shape QPS/p99 trajectory gates the
+    serving cost of the promoted shapes, not cache luck.  ``mixed``
+    interleaves all three shapes per client, the realistic front-door
+    blend (and the shape mix micro-batching must cope with:
+    multicriteria groups, via and min-transfers dispatch singly).
+    """
+    timetable = make_instance(INSTANCE, scale)
+    requests_per_client = ZOO_REQUESTS[scale]
+    service = TransitService(timetable, CONFIG)
+    rng = random.Random(11)
+    stations = range(timetable.num_stations)
+    triples = [
+        tuple(rng.sample(stations, 3))
+        for _ in range(CLIENTS * requests_per_client)
+    ]
+
+    def mc_call(backend, item):
+        source, _, target = item
+        answer = backend.multicriteria(source, target, departure=ZOO_DEPARTURE)
+        assert answer.stats.kind == "multicriteria"
+
+    def via_call(backend, item):
+        source, via, target = item
+        answer = backend.via(source, via, target, departure=ZOO_DEPARTURE)
+        assert answer.stats.kind == "via"
+
+    def mt_call(backend, item):
+        source, _, target = item
+        answer = backend.min_transfers(source, target, departure=ZOO_DEPARTURE)
+        assert answer.stats.kind == "min_transfers"
+
+    def mixed_call(backend, item):
+        (mc_call, via_call, mt_call)[sum(item) % 3](backend, item)
+
+    registry = DatasetRegistry.from_services({"bench": service})
+    harness = ServerHarness(
+        registry,
+        workers=WORKERS,
+        max_inflight=CLIENTS * 4,
+        batch_window=BATCH_WINDOW,
+        batch_max=BATCH_MAX,
+        metrics=ServerMetrics(),
+    )
+    rows: dict[str, dict] = {}
+    shapes = (
+        ("multicriteria", mc_call),
+        ("via", via_call),
+        ("min_transfers", mt_call),
+        ("mixed", mixed_call),
+    )
+    try:
+        _drive(harness, triples[:CLIENTS], 2, call=mixed_call)  # warm-up
+        for name, call in shapes:
+            rows[name] = _drive(
+                harness, triples, requests_per_client, call=call
+            )
+    finally:
+        harness.close()
+
+    table = format_table(
+        ["shape", "reqs", "QPS", "p50 [ms]", "p99 [ms]"],
+        [
+            [
+                name,
+                str(rows[name]["requests"]),
+                f"{rows[name]['qps']:.0f}",
+                f"{rows[name]['p50_ms']:.1f}",
+                f"{rows[name]['p99_ms']:.1f}",
+            ]
+            for name, _ in shapes
+        ],
+    )
+    report.add(
+        "server_throughput",
+        f"[query zoo: scale={scale}, {CLIENTS} closed-loop clients, "
+        f"{WORKERS} workers, {INSTANCE}]\n{table}\n",
+    )
+    benchops.add(
+        "query_zoo",
+        {
+            "multicriteria_qps": rows["multicriteria"]["qps"],
+            "via_qps": rows["via"]["qps"],
+            "min_transfers_qps": rows["min_transfers"]["qps"],
+            "mixed_qps": rows["mixed"]["qps"],
+            "multicriteria_p99_ms": rows["multicriteria"]["p99_ms"],
+            "via_p99_ms": rows["via"]["p99_ms"],
+            "min_transfers_p99_ms": rows["min_transfers"]["p99_ms"],
+        },
+        config={
+            "instance": INSTANCE,
+            "clients": CLIENTS,
+            "requests_per_client": requests_per_client,
+            "workers": WORKERS,
+            "departure": ZOO_DEPARTURE,
+        },
+    )
+
+    # Every shape answered its full closed loop through the server.
+    want = CLIENTS * requests_per_client
+    for name, _ in shapes:
+        assert rows[name]["requests"] == want, (name, rows[name])
 
 
 # ---------------------------------------------------------------------------

@@ -7,12 +7,15 @@ multi-criteria connections, e.g., minimizing the number of transfers
 criteria for self-pruning") and shows the resulting Pareto fronts on a
 rail network, where transfer-count trade-offs actually occur.
 
+The scan/report logic lives in :mod:`repro.query.min_transfers` (the
+same helpers the served ``min-transfers`` request shape uses); this
+example only prints.
+
 Run:  python examples/min_transfers.py
 """
 
 from repro import build_td_graph, make_instance
-from repro.core import mc_profile_search
-from repro.functions.piecewise import INF_TIME
+from repro.query.min_transfers import scan_tradeoffs, transfer_bounded_counts
 from repro.timetable.periodic import format_time
 
 
@@ -21,27 +24,10 @@ def main() -> None:
     graph = build_td_graph(timetable)
     print(timetable.summary())
 
-    departure = 8 * 60
-
     # Scan a few sources for fronts that actually show trade-offs (on
     # sparse rail networks many relations are dominated by one line).
-    best_source, best_fronts, result = 0, [], None
-    for source in range(min(timetable.num_stations, 16)):
-        candidate = mc_profile_search(graph, source, max_transfers=4)
-        fronts = []
-        for station in range(timetable.num_stations):
-            if station == source:
-                continue
-            for tau in (7 * 60, 8 * 60, 17 * 60):
-                front = candidate.pareto_front(station, tau)
-                if len(front) >= 2:
-                    fronts.append((station, tau, front))
-                    break
-        if result is None or len(fronts) > len(best_fronts):
-            best_source, best_fronts, result = source, fronts, candidate
-        if len(best_fronts) >= 3:
-            break
-    source = best_source
+    scan = scan_tradeoffs(graph)
+    source, result = scan.source, scan.result
 
     stats = result.stats
     print(
@@ -51,15 +37,18 @@ def main() -> None:
     )
 
     print("Pareto fronts with genuine speed-vs-convenience trade-offs:")
-    for station, tau, front in best_fronts[:5]:
-        name = timetable.stations[station].name
-        print(f"\n  to {name} (station {station}), departing {format_time(tau)}:")
-        for transfers, arrival in front:
+    for front in scan.fronts[:5]:
+        name = timetable.stations[front.station].name
+        print(
+            f"\n  to {name} (station {front.station}), "
+            f"departing {format_time(front.departure)}:"
+        )
+        for transfers, arrival in front.options:
             label = "transfer" if transfers == 1 else "transfers"
             print(
                 f"    {transfers} {label:9s} -> arrive {format_time(arrival)}"
             )
-    if not best_fronts:
+    if not scan.fronts:
         print("  (no trade-offs found — the network is transfer-free)")
 
     # Compare the fastest-overall vs fewest-transfer connection.
@@ -67,11 +56,11 @@ def main() -> None:
     target = next(
         s.id for s in timetable.stations if "sat-" in s.name and s.id != source
     )
-    for budget in (0, 1, 4):
-        points = result.profile_points(target, budget)
-        reachable = [p for p in points if p[1] < INF_TIME]
+    for budget, reachable in transfer_bounded_counts(
+        result, target, (0, 1, 4)
+    ).items():
         print(
-            f"  ≤{budget} transfers: {len(reachable):3d} optimal "
+            f"  ≤{budget} transfers: {reachable:3d} optimal "
             f"connections over the day"
         )
 

@@ -14,14 +14,17 @@ the main thread's journey is rejected 503 `overloaded`, backs off per
 Asserted end to end, over real TCP, via :class:`HttpBackend` only:
 
 1. dataset resolution from ``/v1/datasets`` (no name given);
-2. all query shapes agree with each other (journey profile ==
-   restricted one-to-all profile == batch item == streamed item);
+2. all six query shapes answer, and agree with each other (journey
+   profile == restricted one-to-all profile == batch item == streamed
+   item; the multicriteria front's best arrival == the journey's; the
+   min-transfers head sits on the front; via == two chained journeys);
 3. ``journey_many`` batches in one round trip;
 4. the forced retry happened (client counted it, the server's
    ``retries_observed_total`` and ``rejected_total`` saw it);
-5. a delay hot swap bumps the generation and moves the journey;
+5. a delay hot swap bumps the generation and moves the journey —
+   and the new shapes answer from the delayed generation too;
 6. typed errors: out-of-range station raises the documented
-   exception, not a raw HTTP failure.
+   exception, not a raw HTTP failure — for old and new shapes alike.
 """
 
 from __future__ import annotations
@@ -60,6 +63,30 @@ def main() -> int:
     assert streamed[0].profile == journey.profile
     print(f"query shapes agree: {len(journey.profile)} connection points")
 
+    # 2b. The query zoo: multicriteria, via, min-transfers.
+    departure = 480
+    mc = backend.multicriteria(2, 5, departure=departure)
+    assert mc.reachable and mc.options, mc
+    assert mc.best_arrival == journey.profile.earliest_arrival(departure), (
+        "multicriteria best arrival disagrees with the journey profile"
+    )
+    mt = backend.min_transfers(2, 5, departure=departure)
+    assert (mt.transfers, mt.arrival) == (
+        mc.options[0].transfers,
+        mc.options[0].arrival,
+    ), "min-transfers head is not the front's first option"
+    via = backend.via(2, 5, 7, departure=departure)
+    leg_one = backend.journey(2, 5, departure=departure)
+    assert via.via_arrival == leg_one.arrival
+    leg_two = backend.journey(5, 7, departure=via.via_arrival)
+    assert via.arrival == leg_two.arrival, (
+        "via arrival disagrees with two chained journeys"
+    )
+    print(
+        f"query zoo agrees: front of {len(mc.options)}, "
+        f"min {mt.transfers} transfer(s), via at {via.via_arrival}"
+    )
+
     # 3. journey_many in one round trip.
     many = backend.journey_many([JourneyRequest(2, 5), JourneyRequest(0, 7)])
     assert [a.target for a in many] == [5, 7]
@@ -91,6 +118,20 @@ def main() -> int:
     assert backend.info().generation == 1
     print(f"hot swap: generation {update.generation}, journey moved")
 
+    # 5b. The new shapes answer from the delayed generation: their
+    # arrivals must track the post-swap journey profile, not the old.
+    delayed_mc = backend.multicriteria(2, 5, departure=departure)
+    assert delayed_mc.best_arrival == delayed.profile.earliest_arrival(
+        departure
+    ), "post-swap multicriteria does not match the delayed profile"
+    delayed_mt = backend.min_transfers(2, 5, departure=departure)
+    assert delayed_mt.arrival == delayed_mc.options[0].arrival
+    delayed_via = backend.via(2, 5, 7, departure=departure)
+    assert delayed_via.via_arrival == delayed.profile.earliest_arrival(
+        departure
+    )
+    print("query zoo answers from the delayed generation")
+
     # 6. Typed errors over the wire.
     try:
         backend.journey(0, 10**6)
@@ -99,6 +140,13 @@ def main() -> int:
         print(f"typed rejection: {exc}")
     else:
         raise AssertionError("out-of-range target was not rejected")
+    try:
+        backend.via(0, 10**6, 5, departure=480)
+    except BadRequestError as exc:
+        assert exc.code == "out_of_range" and exc.field == "via"
+        print(f"typed rejection (via): {exc}")
+    else:
+        raise AssertionError("out-of-range via was not rejected")
 
     # The server saw all of it.
     metrics = backend.server_metrics()

@@ -8,8 +8,9 @@ Builds a tiny store, spawns a real worker fleet under a
 the subsystem's contracts end to end over real TCP (docs/FLEET.md):
 
 1. readiness: gateway `/healthz` reports every worker healthy;
-2. routing: all three query shapes answer through the gateway and
-   agree with each other;
+2. routing: all six query shapes answer through the gateway and
+   agree with each other (including the query zoo — multicriteria,
+   via, min-transfers);
 3. failover: SIGKILL a worker under closed-loop traffic — **zero**
    failed client requests, ejection + readmission in `/metrics`;
 4. coordinated swap: `apply_delays` against the gateway bumps every
@@ -115,7 +116,19 @@ def main() -> int:
         batch = backend.batch([(2, 5)])
         assert profile.profiles[5] == journey.profile
         assert batch.journeys[0].profile == journey.profile
-        print(f"query shapes agree ({len(journey.profile)} connections)")
+        mc = backend.multicriteria(2, 5, departure=480)
+        assert mc.best_arrival == journey.profile.earliest_arrival(480)
+        mt = backend.min_transfers(2, 5, departure=480)
+        assert (mt.transfers, mt.arrival) == (
+            mc.options[0].transfers,
+            mc.options[0].arrival,
+        )
+        via = backend.via(2, 5, 7, departure=480)
+        assert via.via_arrival == journey.profile.earliest_arrival(480)
+        print(
+            f"query shapes agree ({len(journey.profile)} connections, "
+            f"zoo front of {len(mc.options)})"
+        )
 
         # 3. Failover: SIGKILL w0 under closed-loop traffic.
         failures: list[int] = []
@@ -165,6 +178,10 @@ def main() -> int:
         assert update.generation == 1, update
         delayed = backend.journey(2, 5)
         assert delayed.profile != journey.profile, "swap moved nothing"
+        delayed_mc = backend.multicriteria(2, 5, departure=480)
+        assert delayed_mc.best_arrival == delayed.profile.earliest_arrival(
+            480
+        ), "post-swap multicriteria does not track the delayed profile"
         health = get_json(port, "/healthz")
         assert health["generations"] == {"oahu": 1}
         assert all(

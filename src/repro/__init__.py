@@ -112,6 +112,11 @@ from repro.service import (
     JourneyLeg,
     JourneyRequest,
     JourneyResult,
+    MinTransfersRequest,
+    MinTransfersResult,
+    MulticriteriaRequest,
+    MulticriteriaResult,
+    ParetoOption,
     PreparedDataset,
     PrepareStats,
     ProfileRequest,
@@ -119,6 +124,8 @@ from repro.service import (
     QueryStats,
     ServiceConfig,
     TransitService,
+    ViaRequest,
+    ViaResult,
     prepare_dataset,
 )
 from repro.client import (
@@ -136,7 +143,7 @@ from repro.client import (
 )
 from repro.synthetic import make_instance
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Connection",
@@ -176,9 +183,16 @@ __all__ = [
     "ProfileRequest",
     "JourneyRequest",
     "BatchRequest",
+    "MulticriteriaRequest",
+    "ViaRequest",
+    "MinTransfersRequest",
     "ProfileResult",
     "JourneyResult",
     "BatchResponse",
+    "MulticriteriaResult",
+    "ViaResult",
+    "MinTransfersResult",
+    "ParetoOption",
     "JourneyLeg",
     "QueryStats",
     "PreparedDataset",

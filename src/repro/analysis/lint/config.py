@@ -170,6 +170,15 @@ def default_config() -> LintConfig:
             DictPair(protocol, "encode_profile", results, "decode_profile", envelope_vk),
             DictPair(protocol, "encode_batch", results, "decode_batch", envelope_vk),
             DictPair(
+                protocol, "encode_multicriteria",
+                results, "decode_multicriteria", envelope_vk,
+            ),
+            DictPair(protocol, "encode_via", results, "decode_via", envelope_vk),
+            DictPair(
+                protocol, "encode_min_transfers",
+                results, "decode_min_transfers", envelope_vk,
+            ),
+            DictPair(
                 "src/repro/server/registry.py", "describe", results, "decode_info"
             ),
             DictPair(
@@ -192,6 +201,18 @@ def default_config() -> LintConfig:
             RequestPair(
                 "src/repro/client/wire.py", "batch_body",
                 protocol, ("_BATCH_FIELDS",),
+            ),
+            RequestPair(
+                "src/repro/client/wire.py", "multicriteria_body",
+                protocol, ("_MULTICRITERIA_FIELDS",),
+            ),
+            RequestPair(
+                "src/repro/client/wire.py", "via_body",
+                protocol, ("_VIA_FIELDS",),
+            ),
+            RequestPair(
+                "src/repro/client/wire.py", "min_transfers_body",
+                protocol, ("_MIN_TRANSFERS_FIELDS",),
             ),
             RequestPair(
                 "src/repro/client/wire.py", "delays_body",

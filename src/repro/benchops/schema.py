@@ -45,6 +45,15 @@ RECORD_SHAPES: dict[str, tuple[str, ...]] = {
         "replay_qps",
         "failed_requests",
     ),
+    "query_zoo": (
+        "multicriteria_qps",
+        "via_qps",
+        "min_transfers_qps",
+        "mixed_qps",
+        "multicriteria_p99_ms",
+        "via_p99_ms",
+        "min_transfers_p99_ms",
+    ),
 }
 
 

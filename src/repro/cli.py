@@ -9,6 +9,10 @@ Subcommands::
     profile    one-to-all profile query from a station
     query      station-to-station profile query
     batch      run a batched random query workload (throughput check)
+    multicriteria  Pareto front of (transfers, arrival) trade-offs
+               for one station pair at a departure time
+    via        earliest arrival through a required via station
+    min-transfers  fewest-transfers journey within a transfer budget
     serve      async multi-dataset HTTP query server over stores
     serve-fleet  sharded multi-process serve fleet behind a routing
                gateway (N worker processes, one address; docs/FLEET.md)
@@ -25,7 +29,8 @@ Subcommands::
 ``profile``, ``query`` and ``batch`` accept ``--kernel {python,flat}``:
 ``python`` is the reference object-graph SPCS, ``flat`` the packed
 flat-array kernel (identical results, several times faster).  All
-three run against a :class:`~repro.client.TransitBackend`: an
+query commands — those three plus ``multicriteria``, ``via`` and
+``min-transfers`` — run against a :class:`~repro.client.TransitBackend`: an
 in-process :class:`~repro.client.LocalBackend` by default, or — with
 ``--remote http://host:port[/dataset]`` — an
 :class:`~repro.client.HttpBackend` against a running ``repro-transit
@@ -454,6 +459,93 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print("  no connections found (target unreachable)")
     for dep, dur in result.profile.connection_points():
         print(f"  depart {format_time(dep)}  arrive {format_time(dep + dur)}  ({dur} min)")
+    return 0
+
+
+def _print_legs(legs, indent: str = "  ") -> None:
+    for leg in legs:
+        print(
+            f"{indent}{leg.from_station:4d} → {leg.to_station:4d}  "
+            f"depart {format_time(leg.departure)}  "
+            f"arrive {format_time(leg.arrival)}"
+        )
+
+
+def _cmd_multicriteria(args: argparse.Namespace) -> int:
+    backend = _backend_from_args(args)
+    result = backend.multicriteria(
+        args.source,
+        args.target,
+        departure=args.departure,
+        max_transfers=args.max_transfers,
+    )
+    stats = result.stats
+    print(
+        f"{args.source} → {args.target} departing "
+        f"{format_time(args.departure)} (≤{args.max_transfers} transfers): "
+        f"{len(result.options)} Pareto option(s), "
+        f"{stats.settled_connections} settled connections"
+    )
+    if not result.reachable:
+        print("  unreachable within the transfer budget")
+        return 0
+    for option in result.options:
+        print(
+            f"  {option.transfers} transfer(s): "
+            f"arrive {format_time(option.arrival)}"
+        )
+    if result.legs:
+        print("  fastest itinerary:")
+        _print_legs(result.legs, indent="    ")
+    return 0
+
+
+def _cmd_via(args: argparse.Namespace) -> int:
+    backend = _backend_from_args(args)
+    result = backend.via(
+        args.source, args.via, args.target, departure=args.departure
+    )
+    stats = result.stats
+    print(
+        f"{args.source} → {args.via} → {args.target} departing "
+        f"{format_time(args.departure)}: "
+        f"{stats.settled_connections} settled connections"
+    )
+    if not result.reachable:
+        print("  unreachable through the via station")
+        return 0
+    print(
+        f"  at via {format_time(result.via_arrival)}, "
+        f"arrive {format_time(result.arrival)}"
+    )
+    if result.legs:
+        _print_legs(result.legs)
+    return 0
+
+
+def _cmd_min_transfers(args: argparse.Namespace) -> int:
+    backend = _backend_from_args(args)
+    result = backend.min_transfers(
+        args.source,
+        args.target,
+        departure=args.departure,
+        max_transfers=args.max_transfers,
+    )
+    stats = result.stats
+    print(
+        f"{args.source} → {args.target} departing "
+        f"{format_time(args.departure)} (≤{args.max_transfers} transfers): "
+        f"{stats.settled_connections} settled connections"
+    )
+    if not result.reachable:
+        print("  unreachable within the transfer budget")
+        return 0
+    print(
+        f"  {result.transfers} transfer(s), "
+        f"arrive {format_time(result.arrival)}"
+    )
+    if result.legs:
+        _print_legs(result.legs)
     return 0
 
 
@@ -1128,6 +1220,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="search kernel (default: flat; not valid with --from-store)",
     )
     p_query.set_defaults(func=_cmd_query)
+
+    def _add_shape_flags(p: argparse.ArgumentParser) -> None:
+        """The flags the new request-shape commands share with
+        ``query``: dataset-shaping ones stay ``None``-defaulted so
+        ``--from-store``/``--remote`` can reject explicit values."""
+        p.add_argument("--source", type=int, required=True)
+        p.add_argument("--target", type=int, required=True)
+        p.add_argument(
+            "--departure",
+            type=int,
+            required=True,
+            help="departure time in minutes after midnight",
+        )
+        p.add_argument(
+            "--kernel", choices=KERNELS, default=None,
+            help="search kernel (default: flat; not valid with "
+            "--from-store)",
+        )
+        p.add_argument(
+            "--transfer-fraction",
+            type=float,
+            default=None,
+            help="fraction of stations to use as transfer stations "
+            "(default: 0 = no table; not valid with --from-store)",
+        )
+
+    p_mc = sub.add_parser(
+        "multicriteria",
+        help="Pareto front of (transfers, arrival) trade-offs for one "
+        "station pair at a departure time",
+    )
+    _add_input_arguments(p_mc, allow_store=True, allow_remote=True)
+    _add_shape_flags(p_mc)
+    p_mc.add_argument(
+        "--max-transfers", type=int, default=5,
+        help="transfer budget bounding the front (default: 5)",
+    )
+    p_mc.set_defaults(func=_cmd_multicriteria)
+
+    p_via = sub.add_parser(
+        "via",
+        help="earliest arrival through a required via station",
+    )
+    _add_input_arguments(p_via, allow_store=True, allow_remote=True)
+    _add_shape_flags(p_via)
+    p_via.add_argument(
+        "--via", type=int, required=True, dest="via",
+        help="station the journey must pass through",
+    )
+    p_via.set_defaults(func=_cmd_via)
+
+    p_mt = sub.add_parser(
+        "min-transfers",
+        help="fewest-transfers journey within a transfer budget",
+    )
+    _add_input_arguments(p_mt, allow_store=True, allow_remote=True)
+    _add_shape_flags(p_mt)
+    p_mt.add_argument(
+        "--max-transfers", type=int, default=5,
+        help="transfer budget (default: 5)",
+    )
+    p_mt.set_defaults(func=_cmd_min_transfers)
 
     p_batch = sub.add_parser(
         "batch", help="batched random query workload (throughput check)"

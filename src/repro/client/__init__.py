@@ -1,10 +1,11 @@
 """The client SDK: one query API, two transports.
 
 ``TransitBackend`` is the transport-agnostic surface over the serving
-layer's six entrypoints (``profile``, ``journey``, ``journey_many``,
-``batch``, ``apply_delays``, ``info``) plus the streaming
-``iter_batch``.  Programs written against it run unchanged — with
-bitwise-identical answers — over:
+layer's six query shapes (``profile``, ``journey``, ``batch``,
+``multicriteria``, ``via``, ``min_transfers``) plus ``journey_many``,
+the streaming ``iter_batch``, ``apply_delays`` and ``info``.  Programs
+written against it run unchanged — with bitwise-identical answers —
+over:
 
 * :class:`LocalBackend` — an in-process
   :class:`~repro.service.TransitService` or a lazily-opened artifact
@@ -46,7 +47,10 @@ from repro.client.results import (
     DatasetInfo,
     DelayUpdate,
     JourneyAnswer,
+    MinTransfersAnswer,
+    MulticriteriaAnswer,
     ProfileAnswer,
+    ViaAnswer,
 )
 
 __all__ = [
@@ -67,6 +71,9 @@ __all__ = [
     "JourneyAnswer",
     "ProfileAnswer",
     "BatchAnswer",
+    "MulticriteriaAnswer",
+    "ViaAnswer",
+    "MinTransfersAnswer",
     "DatasetInfo",
     "DelayUpdate",
 ]

@@ -1,13 +1,16 @@
 """`TransitBackend` — one query API over any transport — and its
 in-process implementation, :class:`LocalBackend`.
 
-A backend answers the six entrypoints of the serving surface
-(``profile``, ``journey``, ``journey_many``, ``batch``,
-``apply_delays``, ``info``) plus the streaming ``iter_batch``, over
-the service layer's typed requests
-(:class:`~repro.service.model.ProfileRequest` /
-:class:`~repro.service.model.JourneyRequest` /
-:class:`~repro.service.model.BatchRequest`).  Programs written against
+A backend answers the entrypoints of the serving surface — the six
+query shapes (``profile``, ``journey``, ``batch``, ``multicriteria``,
+``via``, ``min_transfers``) plus ``journey_many``, the streaming
+``iter_batch``, ``apply_delays`` and ``info`` — over the service
+layer's typed requests (:class:`~repro.service.model.ProfileRequest`,
+:class:`~repro.service.model.JourneyRequest`,
+:class:`~repro.service.model.BatchRequest`,
+:class:`~repro.service.model.MulticriteriaRequest`,
+:class:`~repro.service.model.ViaRequest`,
+:class:`~repro.service.model.MinTransfersRequest`).  Programs written against
 the protocol run unchanged on an in-process dataset
 (:class:`LocalBackend`) or a remote server
 (:class:`~repro.client.http.HttpBackend`) — with **bitwise-identical
@@ -38,24 +41,43 @@ from repro.client.results import (
     DatasetInfo,
     DelayUpdate,
     JourneyAnswer,
+    MinTransfersAnswer,
+    MulticriteriaAnswer,
     ProfileAnswer,
+    ViaAnswer,
     decode_batch,
     decode_info,
     decode_journey,
+    decode_min_transfers,
+    decode_multicriteria,
     decode_profile,
+    decode_via,
 )
 from repro.server.protocol import (
     ProtocolError,
     encode_batch,
     encode_journey,
+    encode_min_transfers,
+    encode_multicriteria,
     encode_profile,
+    encode_via,
     parse_batch_request,
     parse_delay_request,
     parse_journey_request,
+    parse_min_transfers_request,
+    parse_multicriteria_request,
     parse_profile_request,
+    parse_via_request,
 )
 from repro.service.facade import TransitService
-from repro.service.model import BatchRequest, JourneyRequest, ProfileRequest
+from repro.service.model import (
+    BatchRequest,
+    JourneyRequest,
+    MinTransfersRequest,
+    MulticriteriaRequest,
+    ProfileRequest,
+    ViaRequest,
+)
 from repro.timetable.delays import Delay
 
 
@@ -90,6 +112,33 @@ class TransitBackend(Protocol):
     def batch(
         self, request: BatchRequest | Sequence[tuple[int, int]]
     ) -> BatchAnswer: ...
+
+    def multicriteria(
+        self,
+        request: MulticriteriaRequest | int,
+        target: int | None = None,
+        *,
+        departure: int | None = None,
+        max_transfers: int = 5,
+    ) -> MulticriteriaAnswer: ...
+
+    def via(
+        self,
+        request: ViaRequest | int,
+        via: int | None = None,
+        target: int | None = None,
+        *,
+        departure: int | None = None,
+    ) -> ViaAnswer: ...
+
+    def min_transfers(
+        self,
+        request: MinTransfersRequest | int,
+        target: int | None = None,
+        *,
+        departure: int | None = None,
+        max_transfers: int = 5,
+    ) -> MinTransfersAnswer: ...
 
     def iter_batch(
         self, request: BatchRequest | Sequence[tuple[int, int]]
@@ -241,6 +290,65 @@ class LocalBackend:
             )
         )
 
+    def multicriteria(
+        self,
+        request: MulticriteriaRequest | int,
+        target: int | None = None,
+        *,
+        departure: int | None = None,
+        max_transfers: int = 5,
+    ) -> MulticriteriaAnswer:
+        service = self.service
+        body = wire.multicriteria_body(
+            wire.as_multicriteria_request(
+                request, target, departure, max_transfers
+            )
+        )
+        req = self._parse(
+            parse_multicriteria_request, body, service.timetable.num_stations
+        )
+        return decode_multicriteria(
+            encode_multicriteria(service.multicriteria(req))
+        )
+
+    def via(
+        self,
+        request: ViaRequest | int,
+        via: int | None = None,
+        target: int | None = None,
+        *,
+        departure: int | None = None,
+    ) -> ViaAnswer:
+        service = self.service
+        body = wire.via_body(
+            wire.as_via_request(request, via, target, departure)
+        )
+        req = self._parse(
+            parse_via_request, body, service.timetable.num_stations
+        )
+        return decode_via(encode_via(service.via(req)))
+
+    def min_transfers(
+        self,
+        request: MinTransfersRequest | int,
+        target: int | None = None,
+        *,
+        departure: int | None = None,
+        max_transfers: int = 5,
+    ) -> MinTransfersAnswer:
+        service = self.service
+        body = wire.min_transfers_body(
+            wire.as_min_transfers_request(
+                request, target, departure, max_transfers
+            )
+        )
+        req = self._parse(
+            parse_min_transfers_request, body, service.timetable.num_stations
+        )
+        return decode_min_transfers(
+            encode_min_transfers(service.min_transfers(req))
+        )
+
     def iter_batch(
         self, request: BatchRequest | Sequence[tuple[int, int]]
     ) -> Iterator[JourneyAnswer | ProfileAnswer]:
@@ -364,7 +472,10 @@ __all__ = [
     "DelayUpdate",
     "JourneyAnswer",
     "LocalBackend",
+    "MinTransfersAnswer",
+    "MulticriteriaAnswer",
     "ProfileAnswer",
     "TransitBackend",
+    "ViaAnswer",
     "connect",
 ]

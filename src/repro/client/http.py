@@ -52,15 +52,28 @@ from repro.client.results import (
     DatasetInfo,
     DelayUpdate,
     JourneyAnswer,
+    MinTransfersAnswer,
+    MulticriteriaAnswer,
     ProfileAnswer,
+    ViaAnswer,
     decode_batch,
     decode_delay_update,
     decode_info,
     decode_journey,
+    decode_min_transfers,
+    decode_multicriteria,
     decode_profile,
+    decode_via,
 )
 from repro.server.protocol import PROTOCOL_VERSION
-from repro.service.model import BatchRequest, JourneyRequest, ProfileRequest
+from repro.service.model import (
+    BatchRequest,
+    JourneyRequest,
+    MinTransfersRequest,
+    MulticriteriaRequest,
+    ProfileRequest,
+    ViaRequest,
+)
 from repro.timetable.delays import Delay
 
 
@@ -261,6 +274,53 @@ class HttpBackend:
     ) -> BatchAnswer:
         body = wire.batch_body(wire.as_batch_request(request))
         return decode_batch(self._post(f"/v1/{self.dataset}/batch", body))
+
+    def multicriteria(
+        self,
+        request: MulticriteriaRequest | int,
+        target: int | None = None,
+        *,
+        departure: int | None = None,
+        max_transfers: int = 5,
+    ) -> MulticriteriaAnswer:
+        body = wire.multicriteria_body(
+            wire.as_multicriteria_request(
+                request, target, departure, max_transfers
+            )
+        )
+        return decode_multicriteria(
+            self._post(f"/v1/{self.dataset}/multicriteria", body)
+        )
+
+    def via(
+        self,
+        request: ViaRequest | int,
+        via: int | None = None,
+        target: int | None = None,
+        *,
+        departure: int | None = None,
+    ) -> ViaAnswer:
+        body = wire.via_body(
+            wire.as_via_request(request, via, target, departure)
+        )
+        return decode_via(self._post(f"/v1/{self.dataset}/via", body))
+
+    def min_transfers(
+        self,
+        request: MinTransfersRequest | int,
+        target: int | None = None,
+        *,
+        departure: int | None = None,
+        max_transfers: int = 5,
+    ) -> MinTransfersAnswer:
+        body = wire.min_transfers_body(
+            wire.as_min_transfers_request(
+                request, target, departure, max_transfers
+            )
+        )
+        return decode_min_transfers(
+            self._post(f"/v1/{self.dataset}/min-transfers", body)
+        )
 
     def iter_batch(
         self, request: BatchRequest | Sequence[tuple[int, int]]

@@ -30,7 +30,7 @@ from typing import Iterator, Mapping
 
 from repro.functions.piecewise import INF_TIME
 from repro.query.batch import BatchStats
-from repro.service.model import JourneyLeg, QueryStats
+from repro.service.model import JourneyLeg, ParetoOption, QueryStats
 from repro.timetable.periodic import DAY_MINUTES
 
 
@@ -170,6 +170,63 @@ class BatchAnswer:
 
 
 @dataclass(frozen=True, slots=True)
+class MulticriteriaAnswer:
+    """A Pareto query answered by a backend (either transport).
+
+    ``options`` is the (transfers, arrival) front in increasing
+    transfer order; ``legs`` the fastest option's itinerary when it is
+    reconstructible within the budget.
+    """
+
+    source: int
+    target: int
+    departure: int
+    max_transfers: int
+    reachable: bool
+    options: tuple[ParetoOption, ...]
+    stats: QueryStats
+    legs: tuple[JourneyLeg, ...] | None = None
+
+    @property
+    def best_arrival(self) -> int:
+        """Earliest arrival over the whole front (INF when empty)."""
+        return self.options[-1].arrival if self.options else INF_TIME
+
+
+@dataclass(frozen=True, slots=True)
+class ViaAnswer:
+    """A via-constrained journey answered by a backend: earliest
+    arrival at ``via``, then onward to ``target``."""
+
+    source: int
+    via: int
+    target: int
+    departure: int
+    via_arrival: int
+    arrival: int
+    reachable: bool
+    stats: QueryStats
+    legs: tuple[JourneyLeg, ...] | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class MinTransfersAnswer:
+    """A transfer-minimizing journey answered by a backend:
+    ``transfers`` is ``None`` when the target is unreachable within
+    the budget (``arrival`` is then INF)."""
+
+    source: int
+    target: int
+    departure: int
+    max_transfers: int
+    reachable: bool
+    transfers: int | None
+    arrival: int
+    stats: QueryStats
+    legs: tuple[JourneyLeg, ...] | None = None
+
+
+@dataclass(frozen=True, slots=True)
 class DatasetInfo:
     """What a backend serves: the ``/v1/datasets`` entry shape."""
 
@@ -272,6 +329,82 @@ def decode_batch(payload: dict) -> BatchAnswer:
         journeys=tuple(decode_journey(j) for j in payload["journeys"]),
         profiles=tuple(decode_profile(p) for p in payload["profiles"]),
         stats=decode_batch_stats(payload["stats"]),
+    )
+
+
+def decode_multicriteria(payload: dict) -> MulticriteriaAnswer:
+    legs = payload["legs"]
+    return MulticriteriaAnswer(
+        source=payload["source"],
+        target=payload["target"],
+        departure=payload["departure"],
+        max_transfers=payload["max_transfers"],
+        reachable=payload["reachable"],
+        options=tuple(
+            ParetoOption(int(k), int(arr)) for k, arr in payload["options"]
+        ),
+        stats=decode_query_stats(payload["stats"]),
+        legs=None
+        if legs is None
+        else tuple(
+            JourneyLeg(
+                from_station=leg["from_station"],
+                to_station=leg["to_station"],
+                departure=leg["departure"],
+                arrival=leg["arrival"],
+            )
+            for leg in legs
+        ),
+    )
+
+
+def decode_via(payload: dict) -> ViaAnswer:
+    legs = payload["legs"]
+    return ViaAnswer(
+        source=payload["source"],
+        via=payload["via"],
+        target=payload["target"],
+        departure=payload["departure"],
+        via_arrival=payload["via_arrival"],
+        arrival=payload["arrival"],
+        reachable=payload["reachable"],
+        stats=decode_query_stats(payload["stats"]),
+        legs=None
+        if legs is None
+        else tuple(
+            JourneyLeg(
+                from_station=leg["from_station"],
+                to_station=leg["to_station"],
+                departure=leg["departure"],
+                arrival=leg["arrival"],
+            )
+            for leg in legs
+        ),
+    )
+
+
+def decode_min_transfers(payload: dict) -> MinTransfersAnswer:
+    legs = payload["legs"]
+    return MinTransfersAnswer(
+        source=payload["source"],
+        target=payload["target"],
+        departure=payload["departure"],
+        max_transfers=payload["max_transfers"],
+        reachable=payload["reachable"],
+        transfers=payload["transfers"],
+        arrival=payload["arrival"],
+        stats=decode_query_stats(payload["stats"]),
+        legs=None
+        if legs is None
+        else tuple(
+            JourneyLeg(
+                from_station=leg["from_station"],
+                to_station=leg["to_station"],
+                departure=leg["departure"],
+                arrival=leg["arrival"],
+            )
+            for leg in legs
+        ),
     )
 
 

@@ -23,7 +23,14 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.service.model import BatchRequest, JourneyRequest, ProfileRequest
+from repro.service.model import (
+    BatchRequest,
+    JourneyRequest,
+    MinTransfersRequest,
+    MulticriteriaRequest,
+    ProfileRequest,
+    ViaRequest,
+)
 from repro.timetable.delays import Delay
 
 
@@ -58,6 +65,54 @@ def as_batch_request(
     return BatchRequest.from_pairs(request)
 
 
+def as_multicriteria_request(
+    request: MulticriteriaRequest | int,
+    target: int | None = None,
+    departure: int | None = None,
+    max_transfers: int = 5,
+) -> MulticriteriaRequest:
+    if isinstance(request, MulticriteriaRequest):
+        return request
+    if target is None or departure is None:
+        raise TypeError(
+            "multicriteria(source, target, departure=...) needs a target "
+            "and a departure"
+        )
+    return MulticriteriaRequest(request, target, departure, max_transfers)
+
+
+def as_via_request(
+    request: ViaRequest | int,
+    via: int | None = None,
+    target: int | None = None,
+    departure: int | None = None,
+) -> ViaRequest:
+    if isinstance(request, ViaRequest):
+        return request
+    if via is None or target is None or departure is None:
+        raise TypeError(
+            "via(source, via, target, departure=...) needs a via, a "
+            "target and a departure"
+        )
+    return ViaRequest(request, via, target, departure)
+
+
+def as_min_transfers_request(
+    request: MinTransfersRequest | int,
+    target: int | None = None,
+    departure: int | None = None,
+    max_transfers: int = 5,
+) -> MinTransfersRequest:
+    if isinstance(request, MinTransfersRequest):
+        return request
+    if target is None or departure is None:
+        raise TypeError(
+            "min_transfers(source, target, departure=...) needs a target "
+            "and a departure"
+        )
+    return MinTransfersRequest(request, target, departure, max_transfers)
+
+
 # ---------------------------------------------------------------------------
 # Wire rendering
 # ---------------------------------------------------------------------------
@@ -88,6 +143,33 @@ def batch_body(request: BatchRequest) -> dict:
     if request.profiles:
         body["profiles"] = [profile_body(p) for p in request.profiles]
     return body
+
+
+def multicriteria_body(request: MulticriteriaRequest) -> dict:
+    return {
+        "source": request.source,
+        "target": request.target,
+        "departure": request.departure,
+        "max_transfers": request.max_transfers,
+    }
+
+
+def via_body(request: ViaRequest) -> dict:
+    return {
+        "source": request.source,
+        "via": request.via,
+        "target": request.target,
+        "departure": request.departure,
+    }
+
+
+def min_transfers_body(request: MinTransfersRequest) -> dict:
+    return {
+        "source": request.source,
+        "target": request.target,
+        "departure": request.departure,
+        "max_transfers": request.max_transfers,
+    }
 
 
 def delays_body(

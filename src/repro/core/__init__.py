@@ -26,7 +26,11 @@ from repro.core.partition import (
     partition_kmeans,
 )
 from repro.core.merge import MergedProfileResult, merge_thread_results
-from repro.core.multicriteria import McProfileResult, mc_profile_search
+from repro.core.multicriteria import (
+    McProfileResult,
+    McSPCSStats,
+    mc_profile_search,
+)
 from repro.core.parallel import (
     KERNELS,
     ParallelProfileResult,
@@ -47,6 +51,7 @@ __all__ = [
     "MergedProfileResult",
     "merge_thread_results",
     "McProfileResult",
+    "McSPCSStats",
     "mc_profile_search",
     "ParallelProfileResult",
     "ParallelRunStats",

@@ -38,6 +38,8 @@ from repro.functions.reduction import reduction_mask
 from repro.graph.td_model import TDGraph
 from repro.pq import QUEUE_FACTORIES
 
+__all__ = ["McProfileResult", "McSPCSStats", "mc_profile_search"]
+
 
 @dataclass(slots=True)
 class McSPCSStats:

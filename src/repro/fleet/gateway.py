@@ -57,7 +57,14 @@ from repro.server.protocol import PROTOCOL_VERSION
 
 __all__ = ["FleetGateway", "WorkerState"]
 
-_QUERY_SHAPES = ("profile", "journey", "batch")
+_QUERY_SHAPES = (
+    "profile",
+    "journey",
+    "batch",
+    "multicriteria",
+    "via",
+    "min-transfers",
+)
 
 #: A forward failure with one of these is a dead/unreachable worker:
 #: eject immediately and fail the query over to a peer.

@@ -14,9 +14,20 @@
 * :mod:`repro.query.transfer_selection` — choosing ``S_trans`` by
   station-graph contraction or by degree.
 * :mod:`repro.query.contraction` — the CH-style contraction routine.
+* :mod:`repro.query.min_transfers` — transfer-minimizing read-offs
+  over multi-criteria searches (Pareto trade-off scans, fewest-transfer
+  options, transfer-bounded day profiles).
 """
 
 from repro.query.via import ViaInfo, compute_via_stations
+from repro.query.min_transfers import (
+    TradeoffFront,
+    TradeoffScan,
+    min_transfer_option,
+    scan_tradeoffs,
+    tradeoff_fronts,
+    transfer_bounded_counts,
+)
 from repro.query.distance_table import DistanceTable, build_distance_table
 from repro.query.table_query import (
     DistanceTablePruner,
@@ -38,6 +49,12 @@ from repro.query.transfer_selection import (
 __all__ = [
     "ViaInfo",
     "compute_via_stations",
+    "TradeoffFront",
+    "TradeoffScan",
+    "min_transfer_option",
+    "scan_tradeoffs",
+    "tradeoff_fronts",
+    "transfer_bounded_counts",
     "DistanceTable",
     "build_distance_table",
     "DistanceTablePruner",

@@ -19,6 +19,8 @@ import numpy as np
 
 from repro.graph.station_graph import StationGraph
 
+__all__ = ["ViaInfo", "compute_via_stations"]
+
 
 @dataclass(slots=True)
 class ViaInfo:

@@ -12,6 +12,9 @@ Endpoints (all bodies JSON, see :mod:`repro.server.protocol` and
     POST /v1/{name}/profile           one-to-all profile search
     POST /v1/{name}/journey           station-to-station query
     POST /v1/{name}/batch             batched workload
+    POST /v1/{name}/multicriteria     (transfers, arrival) Pareto front
+    POST /v1/{name}/via               source → via → target journey
+    POST /v1/{name}/min-transfers     fewest-transfers journey
 
 Design:
 
@@ -53,17 +56,30 @@ from repro.server.protocol import (
     ProtocolError,
     encode_batch,
     encode_journey,
+    encode_min_transfers,
+    encode_multicriteria,
     encode_profile,
+    encode_via,
     parse_batch_request,
     parse_delay_request,
     parse_journey_request,
+    parse_min_transfers_request,
+    parse_multicriteria_request,
     parse_profile_request,
+    parse_via_request,
 )
 from repro.server.registry import DatasetRegistry, RegistryError, SwapStateError
 
 __all__ = ["MAX_BODY_BYTES", "TransitServer"]
 
-_QUERY_SHAPES = ("profile", "journey", "batch")
+_QUERY_SHAPES = (
+    "profile",
+    "journey",
+    "batch",
+    "multicriteria",
+    "via",
+    "min-transfers",
+)
 
 
 class TransitServer(BaseAsyncHttpServer):
@@ -289,6 +305,18 @@ class TransitServer(BaseAsyncHttpServer):
                 request = parse_journey_request(parsed, num_stations)
                 result = await self.executor.journey(service, request)
                 return 200, encode_journey(result)
+            if shape == "multicriteria":
+                request = parse_multicriteria_request(parsed, num_stations)
+                result = await self.executor.multicriteria(service, request)
+                return 200, encode_multicriteria(result)
+            if shape == "via":
+                request = parse_via_request(parsed, num_stations)
+                result = await self.executor.via(service, request)
+                return 200, encode_via(result)
+            if shape == "min-transfers":
+                request = parse_min_transfers_request(parsed, num_stations)
+                result = await self.executor.min_transfers(service, request)
+                return 200, encode_min_transfers(result)
             request = parse_batch_request(parsed, num_stations)
             response = await self.executor.batch(service, request)
             return 200, encode_batch(response, num_stations=num_stations)

@@ -47,21 +47,36 @@ from repro.service.model import (
     BatchResponse,
     JourneyRequest,
     JourneyResult,
+    MinTransfersRequest,
+    MinTransfersResult,
+    MulticriteriaRequest,
+    MulticriteriaResult,
     ProfileRequest,
     ProfileResult,
+    ViaRequest,
+    ViaResult,
 )
 
 T = TypeVar("T")
 
+#: Shapes eligible for window collection: each maps to a facade method
+#: pair ``<shape>`` / ``<shape>_many`` with positional answers.
+#: Journeys group because the misses run as one engine pass;
+#: multicriteria requests group because every request over one
+#: (source, budget) pair shares a single underlying §6 search.
+_GROUPABLE_SHAPES = ("journey", "multicriteria")
+
 
 class _PendingBatch:
-    """Journeys collected for one service during one window."""
+    """Requests of one groupable shape collected for one service
+    during one window."""
 
-    __slots__ = ("service", "items", "timer")
+    __slots__ = ("service", "shape", "items", "timer")
 
-    def __init__(self, service: TransitService) -> None:
+    def __init__(self, service: TransitService, shape: str) -> None:
         self.service = service
-        self.items: list[tuple[JourneyRequest, asyncio.Future]] = []
+        self.shape = shape
+        self.items: list[tuple[object, asyncio.Future]] = []
         self.timer: asyncio.TimerHandle | None = None
 
 
@@ -97,10 +112,10 @@ class QueryExecutor:
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-query"
         )
-        #: id(service) → open collection window.  The pending entry
-        #: holds a strong reference to its service, so the id cannot be
-        #: recycled while a window is open.
-        self._pending: dict[int, _PendingBatch] = {}
+        #: (shape, id(service)) → open collection window.  The pending
+        #: entry holds a strong reference to its service, so the id
+        #: cannot be recycled while a window is open.
+        self._pending: dict[tuple[str, int], _PendingBatch] = {}
         self._flushes: set[asyncio.Future] = set()
 
     # -- generic off-loop execution ------------------------------------
@@ -127,13 +142,43 @@ class QueryExecutor:
     ) -> JourneyResult:
         """Answer one journey, micro-batching it with concurrent
         journeys against the same service (see module docstring)."""
+        return await self._grouped("journey", service, request)
+
+    async def multicriteria(
+        self, service: TransitService, request: MulticriteriaRequest
+    ) -> MulticriteriaResult:
+        """Answer one Pareto query, micro-batching it with concurrent
+        multicriteria requests against the same service — grouped
+        requests sharing a (source, budget) pair pay one underlying
+        search (:meth:`TransitService.multicriteria_many`)."""
+        return await self._grouped("multicriteria", service, request)
+
+    async def via(
+        self, service: TransitService, request: ViaRequest
+    ) -> ViaResult:
+        """Via journeys chain two dependent legs — nothing to group."""
+        return await self.run(lambda: service.via(request))
+
+    async def min_transfers(
+        self, service: TransitService, request: MinTransfersRequest
+    ) -> MinTransfersResult:
+        return await self.run(lambda: service.min_transfers(request))
+
+    async def _grouped(
+        self, shape: str, service: TransitService, request
+    ):
+        """Collect ``request`` into the open (shape, service) window,
+        opening one if needed (see module docstring)."""
+        if shape not in _GROUPABLE_SHAPES:
+            raise ValueError(f"shape {shape!r} has no grouped dispatch")
+        single = getattr(service, shape)
         if self.batch_window <= 0 or self.batch_max <= 1:
-            return await self.run(lambda: service.journey(request))
+            return await self.run(lambda: single(request))
         loop = asyncio.get_running_loop()
-        key = id(service)
+        key = (shape, id(service))
         pending = self._pending.get(key)
         if pending is None:
-            pending = _PendingBatch(service)
+            pending = _PendingBatch(service, shape)
             self._pending[key] = pending
             pending.timer = loop.call_later(
                 self.batch_window, self._flush, key
@@ -146,7 +191,7 @@ class QueryExecutor:
 
     # -- window flushing ------------------------------------------------
 
-    def _flush(self, key: int) -> None:
+    def _flush(self, key: tuple[str, int]) -> None:
         """Close the window ``key`` and dispatch its group as one
         worker job (event-loop thread only)."""
         pending = self._pending.pop(key, None)
@@ -160,8 +205,9 @@ class QueryExecutor:
             self.metrics.observe_micro_batch(len(items))
         if len(items) == 1:
             request, future = items[0]
+            single = getattr(service, pending.shape)
             job = asyncio.ensure_future(
-                self.run(lambda: service.journey(request))
+                self.run(lambda: single(request))
             )
             job.add_done_callback(
                 lambda task: self._settle_one(task, future)
@@ -169,8 +215,9 @@ class QueryExecutor:
         else:
             requests = [request for request, _ in items]
             futures = [future for _, future in items]
+            many = getattr(service, f"{pending.shape}_many")
             job = asyncio.ensure_future(
-                self.run(lambda: service.journey_many(requests))
+                self.run(lambda: many(requests))
             )
             job.add_done_callback(
                 lambda task: self._settle_group(task, futures)
@@ -207,16 +254,17 @@ class QueryExecutor:
                 if not future.done():
                     future.set_exception(exc)
             return
-        results: list[JourneyResult] = task.result()
+        results: list = task.result()
         if len(results) != len(futures):
-            # journey_many is contracted to answer positionally, one
-            # result per request.  A short list zipped silently would
-            # leave the trailing futures pending forever (their HTTP
-            # requests would hang until client timeout); a long one
-            # means the positional alignment itself is broken.  Fail
-            # every unanswered future loudly instead.
+            # The *_many facade calls are contracted to answer
+            # positionally, one result per request.  A short list
+            # zipped silently would leave the trailing futures pending
+            # forever (their HTTP requests would hang until client
+            # timeout); a long one means the positional alignment
+            # itself is broken.  Fail every unanswered future loudly
+            # instead.
             error = RuntimeError(
-                f"journey_many returned {len(results)} results for "
+                f"grouped dispatch returned {len(results)} results for "
                 f"{len(futures)} grouped requests — batch answers must "
                 f"be positional"
             )

@@ -6,14 +6,20 @@ omit it and get the current version, an explicit mismatch is
 rejected).  Request objects map one-to-one onto the service layer's
 typed requests:
 
-==========================  =========================================
-wire object                 service request
-==========================  =========================================
-``{"source"}``              :class:`~repro.service.model.ProfileRequest`
-``{"source", "target"}``    :class:`~repro.service.model.JourneyRequest`
-``{"journeys", "profiles"}``  :class:`~repro.service.model.BatchRequest`
-``{"delays"}``              ``TransitService.apply_delays`` input
-==========================  =========================================
+===============================  =========================================
+wire object                      service request
+===============================  =========================================
+``{"source"}``                   :class:`~repro.service.model.ProfileRequest`
+``{"source", "target"}``         :class:`~repro.service.model.JourneyRequest`
+``{"journeys", "profiles"}``     :class:`~repro.service.model.BatchRequest`
+``{"source", "target",           :class:`~repro.service.model.MulticriteriaRequest`
+"departure"}``
+``{"source", "via", "target",    :class:`~repro.service.model.ViaRequest`
+"departure"}``
+``{"source", "target",           :class:`~repro.service.model.MinTransfersRequest`
+"departure", "max_transfers"}``
+``{"delays"}``                   ``TransitService.apply_delays`` input
+===============================  =========================================
 
 Validation is strict: unknown fields, wrong types, and out-of-range
 stations/trains are rejected with a typed :class:`ProtocolError`
@@ -43,9 +49,15 @@ from repro.service.model import (
     BatchResponse,
     JourneyRequest,
     JourneyResult,
+    MinTransfersRequest,
+    MinTransfersResult,
+    MulticriteriaRequest,
+    MulticriteriaResult,
     ProfileRequest,
     ProfileResult,
     QueryStats,
+    ViaRequest,
+    ViaResult,
 )
 from repro.timetable.delays import Delay
 
@@ -56,6 +68,11 @@ PROTOCOL_VERSION = 1
 #: connection partitioning (allocations scale with it), so an
 #: unauthenticated request must not be able to ask for millions.
 MAX_NUM_THREADS = 64
+
+#: Cap on wire-requested transfer budgets: the multi-criteria label
+#: volume scales linearly with ``max_transfers + 1`` layers, so an
+#: unauthenticated request must not be able to ask for thousands.
+MAX_MC_TRANSFERS = 16
 
 
 class ProtocolError(Exception):
@@ -180,6 +197,13 @@ def _station_field(
 _PROFILE_FIELDS = frozenset({"v", "source", "num_threads", "targets"})
 _JOURNEY_FIELDS = frozenset({"v", "source", "target", "departure"})
 _BATCH_FIELDS = frozenset({"v", "journeys", "profiles"})
+_MULTICRITERIA_FIELDS = frozenset(
+    {"v", "source", "target", "departure", "max_transfers"}
+)
+_VIA_FIELDS = frozenset({"v", "source", "via", "target", "departure"})
+_MIN_TRANSFERS_FIELDS = frozenset(
+    {"v", "source", "target", "departure", "max_transfers"}
+)
 _DELAY_FIELDS = frozenset(
     {"v", "delays", "slack_per_leg", "mode", "token", "replan", "generations"}
 )
@@ -320,6 +344,61 @@ def _item_list(obj: dict, name: str) -> list:
             field=name,
         )
     return raw
+
+
+def parse_multicriteria_request(
+    body: object, num_stations: int
+) -> MulticriteriaRequest:
+    obj = _require_object(body)
+    _check_version(obj)
+    _reject_unknown(obj, _MULTICRITERIA_FIELDS, where="multicriteria request")
+    source = _station_field(obj, "source", num_stations, where="multicriteria")
+    target = _station_field(obj, "target", num_stations, where="multicriteria")
+    departure = _int_field(
+        obj, "departure", where="multicriteria", required=True, lo=0
+    )
+    max_transfers = _int_field(
+        obj,
+        "max_transfers",
+        where="multicriteria",
+        default=5,
+        lo=0,
+        hi=MAX_MC_TRANSFERS + 1,
+    )
+    return MulticriteriaRequest(source, target, departure, max_transfers)
+
+
+def parse_via_request(body: object, num_stations: int) -> ViaRequest:
+    obj = _require_object(body)
+    _check_version(obj)
+    _reject_unknown(obj, _VIA_FIELDS, where="via request")
+    source = _station_field(obj, "source", num_stations, where="via")
+    via = _station_field(obj, "via", num_stations, where="via")
+    target = _station_field(obj, "target", num_stations, where="via")
+    departure = _int_field(obj, "departure", where="via", required=True, lo=0)
+    return ViaRequest(source, via, target, departure)
+
+
+def parse_min_transfers_request(
+    body: object, num_stations: int
+) -> MinTransfersRequest:
+    obj = _require_object(body)
+    _check_version(obj)
+    _reject_unknown(obj, _MIN_TRANSFERS_FIELDS, where="min-transfers request")
+    source = _station_field(obj, "source", num_stations, where="min-transfers")
+    target = _station_field(obj, "target", num_stations, where="min-transfers")
+    departure = _int_field(
+        obj, "departure", where="min-transfers", required=True, lo=0
+    )
+    max_transfers = _int_field(
+        obj,
+        "max_transfers",
+        where="min-transfers",
+        default=5,
+        lo=0,
+        hi=MAX_MC_TRANSFERS + 1,
+    )
+    return MinTransfersRequest(source, target, departure, max_transfers)
 
 
 @dataclass(frozen=True, slots=True)
@@ -529,4 +608,88 @@ def encode_batch(response: BatchResponse, *, num_stations: int) -> dict:
             for p in response.profiles
         ],
         "stats": encode_batch_stats(response.stats),
+    }
+
+
+def encode_multicriteria(result: MulticriteriaResult) -> dict:
+    legs = None
+    if result.legs is not None:
+        legs = [
+            {
+                "from_station": leg.from_station,
+                "to_station": leg.to_station,
+                "departure": leg.departure,
+                "arrival": leg.arrival,
+            }
+            for leg in result.legs
+        ]
+    return {
+        "v": PROTOCOL_VERSION,
+        "kind": "multicriteria",
+        "source": result.source,
+        "target": result.target,
+        "departure": result.departure,
+        "max_transfers": result.max_transfers,
+        "reachable": result.reachable,
+        "options": [
+            [int(opt.transfers), int(opt.arrival)] for opt in result.options
+        ],
+        "legs": legs,
+        "stats": encode_query_stats(result.stats),
+    }
+
+
+def encode_via(result: ViaResult) -> dict:
+    legs = None
+    if result.legs is not None:
+        legs = [
+            {
+                "from_station": leg.from_station,
+                "to_station": leg.to_station,
+                "departure": leg.departure,
+                "arrival": leg.arrival,
+            }
+            for leg in result.legs
+        ]
+    return {
+        "v": PROTOCOL_VERSION,
+        "kind": "via",
+        "source": result.source,
+        "via": result.via,
+        "target": result.target,
+        "departure": result.departure,
+        "via_arrival": int(result.via_arrival),
+        "arrival": int(result.arrival),
+        "reachable": result.reachable,
+        "legs": legs,
+        "stats": encode_query_stats(result.stats),
+    }
+
+
+def encode_min_transfers(result: MinTransfersResult) -> dict:
+    legs = None
+    if result.legs is not None:
+        legs = [
+            {
+                "from_station": leg.from_station,
+                "to_station": leg.to_station,
+                "departure": leg.departure,
+                "arrival": leg.arrival,
+            }
+            for leg in result.legs
+        ]
+    return {
+        "v": PROTOCOL_VERSION,
+        "kind": "min_transfers",
+        "source": result.source,
+        "target": result.target,
+        "departure": result.departure,
+        "max_transfers": result.max_transfers,
+        "reachable": result.reachable,
+        "transfers": (
+            None if result.transfers is None else int(result.transfers)
+        ),
+        "arrival": int(result.arrival),
+        "legs": legs,
+        "stats": encode_query_stats(result.stats),
     }

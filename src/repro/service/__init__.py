@@ -35,9 +35,16 @@ from repro.service.model import (
     JourneyLeg,
     JourneyRequest,
     JourneyResult,
+    MinTransfersRequest,
+    MinTransfersResult,
+    MulticriteriaRequest,
+    MulticriteriaResult,
+    ParetoOption,
     ProfileRequest,
     ProfileResult,
     QueryStats,
+    ViaRequest,
+    ViaResult,
 )
 from repro.service.prepare import (
     PreparedDataset,
@@ -58,9 +65,16 @@ __all__ = [
     "JourneyLeg",
     "JourneyRequest",
     "JourneyResult",
+    "MinTransfersRequest",
+    "MinTransfersResult",
+    "MulticriteriaRequest",
+    "MulticriteriaResult",
+    "ParetoOption",
     "ProfileRequest",
     "ProfileResult",
     "QueryStats",
+    "ViaRequest",
+    "ViaResult",
     "PreparedDataset",
     "PrepareStats",
     "prepare_dataset",

@@ -11,6 +11,12 @@ the paper through a typed request/response model:
   concrete journey legs at a departure time;
 * :meth:`TransitService.batch` — batched workloads distributed over a
   worker pool (the traffic-serving shape);
+* :meth:`TransitService.multicriteria` — the Pareto front of
+  (transfers, arrival) trade-offs (§6);
+* :meth:`TransitService.via` — source → via → target journeys as two
+  chained earliest-arrival legs;
+* :meth:`TransitService.min_transfers` — the fewest-transfers journey
+  within a transfer budget;
 * :meth:`TransitService.apply_delays` — the fully dynamic scenario
   (§5.1): a new service for the delayed timetable that re-derives only
   travel-time-dependent artifacts and shares the rest;
@@ -31,12 +37,14 @@ artifacts — so answers are bitwise-identical to the historical paths
 from __future__ import annotations
 
 import time
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from pathlib import Path
 from threading import Lock
 from typing import Sequence
 
+from repro.core.multicriteria import mc_profile_search
 from repro.core.parallel import parallel_profile_search
+from repro.functions.piecewise import INF_TIME
 from repro.query.batch import BatchQueryEngine, BatchStats
 from repro.query.distance_table import DistanceTable
 from repro.query.table_query import (
@@ -51,9 +59,16 @@ from repro.service.model import (
     BatchResponse,
     JourneyRequest,
     JourneyResult,
+    MinTransfersRequest,
+    MinTransfersResult,
+    MulticriteriaRequest,
+    MulticriteriaResult,
+    ParetoOption,
     ProfileRequest,
     ProfileResult,
     QueryStats,
+    ViaRequest,
+    ViaResult,
 )
 from repro.service.prepare import (
     PreparedDataset,
@@ -63,6 +78,18 @@ from repro.service.prepare import (
 )
 from repro.timetable.delays import Delay, apply_delays as _delay_timetable
 from repro.timetable.types import Timetable
+
+
+@dataclass(frozen=True, slots=True)
+class _McSearchKey:
+    """Internal result-cache key for one shared multi-criteria
+    one-to-all search: every multicriteria / min-transfers request for
+    the same (source, budget) — whatever its target or departure —
+    reads the same :class:`~repro.core.multicriteria.McProfileResult`.
+    """
+
+    source: int
+    max_transfers: int
 
 
 def _mark_cache_hit(result):
@@ -381,6 +408,196 @@ class TransitService:
         self._result_cache.put(request, response)
         return response
 
+    # -- the query zoo: multicriteria / via / min-transfers ------------
+
+    def multicriteria(
+        self,
+        request: MulticriteriaRequest | int,
+        target: int | None = None,
+        *,
+        departure: int | None = None,
+        max_transfers: int = 5,
+    ) -> MulticriteriaResult:
+        """Answer a :class:`MulticriteriaRequest` (or raw arguments):
+        the Pareto front of (transfers, arrival) trade-offs (§6)."""
+        if isinstance(request, MulticriteriaRequest):
+            req = request
+        else:
+            if target is None or departure is None:
+                raise TypeError(
+                    "multicriteria(source, target, departure=...) needs "
+                    "a target and a departure"
+                )
+            req = MulticriteriaRequest(request, target, departure, max_transfers)
+        cached = self._result_cache.get(req)
+        if cached is not None:
+            return _mark_cache_hit(cached)
+        result = self._run_multicriteria(req)
+        self._result_cache.put(req, result)
+        return result
+
+    def multicriteria_many(
+        self, requests: Sequence[MulticriteriaRequest]
+    ) -> list[MulticriteriaResult]:
+        """Answer many multicriteria requests with per-request caching.
+
+        The serving layer's micro-batched dispatch path for this shape:
+        requests sharing a (source, budget) pair reuse one underlying
+        one-to-all search (the :class:`_McSearchKey` entry), so a
+        grouped window costs one search per distinct source instead of
+        one per request.  Answers are identical to calling
+        :meth:`multicriteria` once per request, in order.
+        """
+        results: list[MulticriteriaResult | None] = [None] * len(requests)
+        for i, req in enumerate(requests):
+            cached = self._result_cache.get(req)
+            if cached is not None:
+                results[i] = _mark_cache_hit(cached)
+            else:
+                result = self._run_multicriteria(req)
+                self._result_cache.put(req, result)
+                results[i] = result
+        return results
+
+    def via(
+        self,
+        request: ViaRequest | int,
+        via: int | None = None,
+        target: int | None = None,
+        *,
+        departure: int | None = None,
+    ) -> ViaResult:
+        """Answer a :class:`ViaRequest` (or raw arguments): two chained
+        earliest-arrival journeys, source → via → target.
+
+        The legs reuse :meth:`journey` wholesale (each hop is cached
+        under its own :class:`JourneyRequest` key), so answers are by
+        construction those of the two chained station-to-station
+        queries the parity oracle runs.
+        """
+        if isinstance(request, ViaRequest):
+            req = request
+        else:
+            if via is None or target is None or departure is None:
+                raise TypeError(
+                    "via(source, via, target, departure=...) needs a "
+                    "via, a target and a departure"
+                )
+            req = ViaRequest(request, via, target, departure)
+        cached = self._result_cache.get(req)
+        if cached is not None:
+            return _mark_cache_hit(cached)
+        t0 = time.perf_counter()
+        parts: list[QueryStats] = []
+        if req.source == req.via:
+            legs_first: tuple | None = ()
+            via_arrival = req.departure
+        else:
+            first = self.journey(JourneyRequest(req.source, req.via, req.departure))
+            parts.append(first.stats)
+            legs_first = first.legs
+            via_arrival = first.arrival if first.arrival is not None else INF_TIME
+        if via_arrival >= INF_TIME:
+            arrival = INF_TIME
+            legs = None
+        elif req.via == req.target:
+            arrival = via_arrival
+            legs = legs_first
+        else:
+            second = self.journey(
+                JourneyRequest(req.via, req.target, via_arrival)
+            )
+            parts.append(second.stats)
+            arrival = second.arrival if second.arrival is not None else INF_TIME
+            if legs_first is None or second.legs is None:
+                legs = None
+            else:
+                legs = tuple(legs_first) + tuple(second.legs)
+        total = time.perf_counter() - t0
+        stats = QueryStats(
+            kind="via",
+            kernel=self.config.kernel,
+            num_threads=self.config.num_threads,
+            settled_connections=sum(p.settled_connections for p in parts),
+            simulated_seconds=sum(p.simulated_seconds for p in parts),
+            total_seconds=total,
+            table_prunes=sum(p.table_prunes for p in parts),
+            connection_stops=sum(p.connection_stops for p in parts),
+        )
+        result = ViaResult(
+            source=req.source,
+            via=req.via,
+            target=req.target,
+            departure=req.departure,
+            via_arrival=via_arrival,
+            arrival=arrival,
+            stats=stats,
+            legs=legs,
+        )
+        self._result_cache.put(req, result)
+        return result
+
+    def min_transfers(
+        self,
+        request: MinTransfersRequest | int,
+        target: int | None = None,
+        *,
+        departure: int | None = None,
+        max_transfers: int = 5,
+    ) -> MinTransfersResult:
+        """Answer a :class:`MinTransfersRequest` (or raw arguments):
+        the fewest-transfers journey within the budget — the first
+        entry of the Pareto front."""
+        if isinstance(request, MinTransfersRequest):
+            req = request
+        else:
+            if target is None or departure is None:
+                raise TypeError(
+                    "min_transfers(source, target, departure=...) needs "
+                    "a target and a departure"
+                )
+            req = MinTransfersRequest(request, target, departure, max_transfers)
+        cached = self._result_cache.get(req)
+        if cached is not None:
+            return _mark_cache_hit(cached)
+        t0 = time.perf_counter()
+        if req.source == req.target:
+            transfers: int | None = 0
+            arrival = req.departure
+            legs: tuple | None = ()
+            settled = 0
+        else:
+            raw = self._mc_search(req.source, req.max_transfers)
+            settled = raw.stats.settled
+            front = raw.pareto_front(req.target, req.departure)
+            if not front:
+                transfers, arrival, legs = None, INF_TIME, None
+            else:
+                transfers, arrival = front[0]
+                recon, recon_arrival = self._recon_legs(
+                    req.source, req.target, req.departure
+                )
+                legs = (
+                    recon
+                    if recon
+                    and recon_arrival == arrival
+                    and len(recon) - 1 == transfers
+                    else None
+                )
+        total = time.perf_counter() - t0
+        result = MinTransfersResult(
+            source=req.source,
+            target=req.target,
+            departure=req.departure,
+            max_transfers=req.max_transfers,
+            transfers=transfers,
+            arrival=arrival,
+            stats=self._mc_stats("min_transfers", settled, total),
+            legs=legs,
+        )
+        self._result_cache.put(req, result)
+        return result
+
     # -- delay replanning ----------------------------------------------
 
     def apply_delays(
@@ -463,6 +680,81 @@ class TransitService:
                     )
                 engine = self._batch_engine
         return engine
+
+    def _mc_search(self, source: int, max_transfers: int):
+        """The shared multi-criteria one-to-all search, memoized in the
+        result cache under :class:`_McSearchKey` — so any mix of
+        multicriteria / min-transfers requests over one source pays one
+        search."""
+        key = _McSearchKey(source, max_transfers)
+        raw = self._result_cache.get(key)
+        if raw is None:
+            raw = mc_profile_search(
+                self.prepared.graph,
+                source,
+                max_transfers=max_transfers,
+                self_pruning=self.config.self_pruning,
+                queue=self.config.queue,
+            )
+            self._result_cache.put(key, raw)
+        return raw
+
+    def _run_multicriteria(self, req: MulticriteriaRequest) -> MulticriteriaResult:
+        t0 = time.perf_counter()
+        if req.source == req.target:
+            options = (ParetoOption(0, req.departure),)
+            legs: tuple | None = ()
+            settled = 0
+        else:
+            raw = self._mc_search(req.source, req.max_transfers)
+            settled = raw.stats.settled
+            options = tuple(
+                ParetoOption(k, arr)
+                for k, arr in raw.pareto_front(req.target, req.departure)
+            )
+            legs = None
+            if options:
+                recon, recon_arrival = self._recon_legs(
+                    req.source, req.target, req.departure
+                )
+                if (
+                    recon
+                    and recon_arrival == options[-1].arrival
+                    and len(recon) - 1 <= req.max_transfers
+                ):
+                    legs = recon
+        total = time.perf_counter() - t0
+        return MulticriteriaResult(
+            source=req.source,
+            target=req.target,
+            departure=req.departure,
+            max_transfers=req.max_transfers,
+            options=options,
+            stats=self._mc_stats("multicriteria", settled, total),
+            legs=legs,
+        )
+
+    def _mc_stats(self, kind: str, settled: int, total: float) -> QueryStats:
+        # The multi-criteria engine is the sequential §6 search: no
+        # flat-kernel variant, no parallel driver — accounted as one
+        # python thread whatever the service's journey configuration.
+        return QueryStats(
+            kind=kind,
+            kernel="python",
+            num_threads=1,
+            settled_connections=settled,
+            simulated_seconds=total,
+            total_seconds=total,
+        )
+
+    def _recon_legs(self, source: int, target: int, departure: int):
+        return reconstruct_legs(
+            self.prepared.graph,
+            source,
+            target,
+            departure,
+            queue=self.config.queue,
+        )
 
     def _wrap_journey(
         self, req: JourneyRequest, res: StationToStationResult

@@ -8,13 +8,16 @@ CLI read from one place.
 
 The correspondence with the underlying engines:
 
-=====================  ==============================================
-request                engine path
-=====================  ==============================================
-:class:`ProfileRequest`  :func:`~repro.core.parallel.parallel_profile_search`
-:class:`JourneyRequest`  :meth:`~repro.query.table_query.StationToStationEngine.query`
-:class:`BatchRequest`    :class:`~repro.query.batch.BatchQueryEngine`
-=====================  ==============================================
+===========================  ==============================================
+request                      engine path
+===========================  ==============================================
+:class:`ProfileRequest`      :func:`~repro.core.parallel.parallel_profile_search`
+:class:`JourneyRequest`      :meth:`~repro.query.table_query.StationToStationEngine.query`
+:class:`BatchRequest`        :class:`~repro.query.batch.BatchQueryEngine`
+:class:`MulticriteriaRequest`  :func:`~repro.core.multicriteria.mc_profile_search`
+:class:`ViaRequest`          two chained :meth:`TransitService.journey` legs
+:class:`MinTransfersRequest`   :func:`~repro.core.multicriteria.mc_profile_search`
+===========================  ==============================================
 """
 
 from __future__ import annotations
@@ -90,6 +93,47 @@ class BatchRequest:
         return len(self.journeys) + len(self.profiles)
 
 
+@dataclass(frozen=True, slots=True)
+class MulticriteriaRequest:
+    """Pareto query (paper §6): every non-dominated
+    (transfers, arrival) trade-off for travelling ``source`` →
+    ``target`` departing at or after ``departure``, bounded by
+    ``max_transfers``.
+    """
+
+    source: int
+    target: int
+    departure: int
+    max_transfers: int = 5
+
+
+@dataclass(frozen=True, slots=True)
+class ViaRequest:
+    """Station-to-station journey constrained to pass through ``via``:
+    the earliest arrival at ``target`` among journeys that first reach
+    ``via`` as early as possible (two chained earliest-arrival legs).
+    """
+
+    source: int
+    via: int
+    target: int
+    departure: int
+
+
+@dataclass(frozen=True, slots=True)
+class MinTransfersRequest:
+    """Transfer-minimizing journey: among journeys departing at or
+    after ``departure`` with at most ``max_transfers`` transfers, the
+    one with the fewest transfers (ties broken by earliest arrival —
+    the first entry of the Pareto front).
+    """
+
+    source: int
+    target: int
+    departure: int
+    max_transfers: int = 5
+
+
 # ---------------------------------------------------------------------------
 # Responses
 # ---------------------------------------------------------------------------
@@ -110,7 +154,7 @@ class QueryStats:
     through it.
     """
 
-    kind: str  # "profile" | "journey"
+    kind: str  # "profile" | "journey" | "multicriteria" | "via" | "min_transfers"
     kernel: str
     num_threads: int
     settled_connections: int
@@ -192,6 +236,94 @@ class ProfileResult:
         if station == self.source:
             return tau
         return self.profile(station).earliest_arrival(tau)
+
+
+@dataclass(frozen=True, slots=True)
+class ParetoOption:
+    """One non-dominated (transfers, arrival) trade-off."""
+
+    transfers: int
+    arrival: int
+
+
+@dataclass(slots=True)
+class MulticriteriaResult:
+    """Answer to a :class:`MulticriteriaRequest`.
+
+    ``options`` is the Pareto front ordered by increasing transfer
+    count and strictly decreasing arrival (every extra transfer buys a
+    strictly earlier arrival); empty when ``target`` is unreachable
+    within the transfer budget.  ``legs`` is the itinerary of the
+    fastest option when the unconstrained reconstruction achieves its
+    arrival within the budget, else ``None``.
+    """
+
+    source: int
+    target: int
+    departure: int
+    max_transfers: int
+    options: tuple[ParetoOption, ...]
+    stats: QueryStats
+    legs: tuple[JourneyLeg, ...] | None = None
+
+    @property
+    def reachable(self) -> bool:
+        return len(self.options) > 0
+
+    @property
+    def best_arrival(self) -> int:
+        """Earliest arrival over the whole front (INF when empty)."""
+        return self.options[-1].arrival if self.options else INF_TIME
+
+
+@dataclass(slots=True)
+class ViaResult:
+    """Answer to a :class:`ViaRequest`.
+
+    ``via_arrival`` is the earliest arrival at the via station
+    (:data:`~repro.functions.piecewise.INF_TIME` when unreachable);
+    ``arrival`` the final arrival at ``target`` after continuing from
+    the via station at ``via_arrival``.  ``legs`` chains both legs'
+    itineraries (``None`` when either hop is unreachable).
+    """
+
+    source: int
+    via: int
+    target: int
+    departure: int
+    via_arrival: int
+    arrival: int
+    stats: QueryStats
+    legs: tuple[JourneyLeg, ...] | None = None
+
+    @property
+    def reachable(self) -> bool:
+        return self.arrival < INF_TIME
+
+
+@dataclass(slots=True)
+class MinTransfersResult:
+    """Answer to a :class:`MinTransfersRequest`.
+
+    ``transfers`` is the minimum transfer count of any journey within
+    the budget (``None`` when unreachable); ``arrival`` the earliest
+    arrival achievable with exactly that many transfers.  ``legs`` is
+    the reconstructed itinerary when the unconstrained earliest-arrival
+    journey already uses the minimum transfer count, else ``None``.
+    """
+
+    source: int
+    target: int
+    departure: int
+    max_transfers: int
+    transfers: int | None
+    arrival: int
+    stats: QueryStats
+    legs: tuple[JourneyLeg, ...] | None = None
+
+    @property
+    def reachable(self) -> bool:
+        return self.transfers is not None
 
 
 @dataclass(slots=True)

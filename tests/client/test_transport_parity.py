@@ -158,6 +158,53 @@ class TestQueryShapeParity:
                 assert item.profile == twin.profile
                 assert item.reachable == twin.reachable
 
+    def test_multicriteria(self, http_backend, local_backend):
+        remote, _ = assert_parity(
+            lambda b: b.multicriteria(2, 5, departure=480),
+            http_backend,
+            local_backend,
+        )
+        assert remote.reachable and remote.options
+        assert remote.stats.kind == "multicriteria"
+
+    def test_multicriteria_tight_budget(self, http_backend, local_backend):
+        assert_parity(
+            lambda b: b.multicriteria(2, 5, departure=480, max_transfers=0),
+            http_backend,
+            local_backend,
+        )
+
+    def test_via(self, http_backend, local_backend):
+        remote, _ = assert_parity(
+            lambda b: b.via(2, 5, 7, departure=480),
+            http_backend,
+            local_backend,
+        )
+        assert remote.reachable
+        assert remote.via_arrival <= remote.arrival
+        assert remote.stats.kind == "via"
+
+    def test_via_degenerate_hops(self, http_backend, local_backend):
+        assert_parity(
+            lambda b: b.via(2, 2, 5, departure=480),
+            http_backend,
+            local_backend,
+        )
+        assert_parity(
+            lambda b: b.via(2, 5, 5, departure=480),
+            http_backend,
+            local_backend,
+        )
+
+    def test_min_transfers(self, http_backend, local_backend):
+        remote, _ = assert_parity(
+            lambda b: b.min_transfers(2, 5, departure=480),
+            http_backend,
+            local_backend,
+        )
+        assert remote.reachable and remote.transfers is not None
+        assert remote.stats.kind == "min_transfers"
+
     def test_info(self, http_backend, local_backend):
         remote = http_backend.info()
         local = local_backend.info()
@@ -192,6 +239,23 @@ class TestStatefulParity:
         assert repeat_remote.stats.cache_hit
         assert repeat_local.stats.cache_hit
 
+    def test_cache_hits_cover_every_new_shape(
+        self, http_backend, local_backend
+    ):
+        calls = (
+            lambda b: b.multicriteria(2, 5, departure=480),
+            lambda b: b.via(2, 5, 7, departure=480),
+            lambda b: b.min_transfers(2, 9, departure=480),
+        )
+        for call in calls:
+            first, _ = assert_parity(call, http_backend, local_backend)
+            assert not first.stats.cache_hit
+            repeat_remote, repeat_local = assert_parity(
+                call, http_backend, local_backend
+            )
+            assert repeat_remote.stats.cache_hit
+            assert repeat_local.stats.cache_hit
+
     def test_delay_replanning_parity(self, http_backend, local_backend):
         """The fully dynamic scenario through both transports: apply
         delays, then every query shape against the replanned dataset
@@ -216,6 +280,21 @@ class TestStatefulParity:
         )
         assert_parity(
             lambda b: b.batch([(2, 5), (0, 9)]), http_backend, local_backend
+        )
+        assert_parity(
+            lambda b: b.multicriteria(2, 5, departure=480),
+            http_backend,
+            local_backend,
+        )
+        assert_parity(
+            lambda b: b.via(2, 5, 7, departure=480),
+            http_backend,
+            local_backend,
+        )
+        assert_parity(
+            lambda b: b.min_transfers(2, 5, departure=480),
+            http_backend,
+            local_backend,
         )
 
     def test_delay_validation_errors_match(
@@ -251,6 +330,28 @@ class TestErrorParity:
                 "num_threads",
             ),
             (lambda b: b.batch(BatchRequest()), "invalid_request", None),
+            (
+                lambda b: b.multicriteria(0, 99, departure=480),
+                "out_of_range",
+                "target",
+            ),
+            (
+                lambda b: b.multicriteria(
+                    0, 5, departure=480, max_transfers=999
+                ),
+                "out_of_range",
+                "max_transfers",
+            ),
+            (
+                lambda b: b.via(0, 99, 5, departure=480),
+                "out_of_range",
+                "via",
+            ),
+            (
+                lambda b: b.min_transfers(-1, 5, departure=480),
+                "out_of_range",
+                "source",
+            ),
         ],
     )
     def test_rejections_are_identical(

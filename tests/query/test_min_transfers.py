@@ -1,0 +1,134 @@
+"""Unit tests for the transfer-minimizing read-off helpers (§6).
+
+``repro.query.min_transfers`` turns :func:`mc_profile_search` labels
+into fewest-transfers options, trade-off fronts and per-budget
+connection counts; every helper is pinned here against the search's
+own ``pareto_front`` / ``profile_points`` read API so the module can
+never drift from the underlying labels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.multicriteria import mc_profile_search
+from repro.functions.piecewise import INF_TIME
+from repro.graph import build_td_graph
+from repro.query.min_transfers import (
+    DEFAULT_DEPARTURES,
+    TradeoffFront,
+    min_transfer_option,
+    scan_tradeoffs,
+    tradeoff_fronts,
+    transfer_bounded_counts,
+)
+
+
+@pytest.fixture(scope="module")
+def mc_result(oahu_tiny_graph):
+    return mc_profile_search(oahu_tiny_graph, 2, max_transfers=4)
+
+
+class TestMinTransferOption:
+    def test_matches_front_head(self, mc_result):
+        for station in range(12):
+            if station == mc_result.source:
+                continue
+            for tau in (300, 480, 1020):
+                front = mc_result.pareto_front(station, tau)
+                option = min_transfer_option(mc_result, station, tau)
+                if front:
+                    assert option == front[0]
+                else:
+                    assert option is None
+
+    def test_fewest_transfers_never_beaten_on_count(self, mc_result):
+        """The head of the front is the *minimum* transfer count of
+        any non-dominated option."""
+        for station in (0, 5, 9):
+            front = mc_result.pareto_front(station, 480)
+            if not front:
+                continue
+            option = min_transfer_option(mc_result, station, 480)
+            assert option[0] == min(k for k, _ in front)
+
+
+class TestTradeoffFronts:
+    def test_source_excluded(self, mc_result):
+        fronts = tradeoff_fronts(
+            mc_result, range(12), min_options=1
+        )
+        assert all(f.station != mc_result.source for f in fronts)
+
+    def test_every_front_meets_min_options(self, mc_result):
+        fronts = tradeoff_fronts(mc_result, range(12), min_options=2)
+        for front in fronts:
+            assert len(front.options) >= 2
+            assert front.options == tuple(
+                mc_result.pareto_front(front.station, front.departure)
+            )
+
+    def test_one_front_per_station_first_departure_wins(self, mc_result):
+        fronts = tradeoff_fronts(mc_result, range(12), min_options=1)
+        stations = [f.station for f in fronts]
+        assert len(stations) == len(set(stations))
+        for front in fronts:
+            # No earlier anchor in DEFAULT_DEPARTURES also qualified.
+            earlier = DEFAULT_DEPARTURES[
+                : DEFAULT_DEPARTURES.index(front.departure)
+            ]
+            for tau in earlier:
+                assert len(mc_result.pareto_front(front.station, tau)) < 1
+
+    def test_fronts_are_monotone_tradeoffs(self, mc_result):
+        """Within a front, more transfers strictly buys an earlier
+        arrival (the invariant that makes it a trade-off at all)."""
+        for front in tradeoff_fronts(mc_result, range(12), min_options=2):
+            ks = [k for k, _ in front.options]
+            arrs = [arr for _, arr in front.options]
+            assert ks == sorted(ks)
+            assert arrs == sorted(arrs, reverse=True)
+
+
+class TestScanTradeoffs:
+    def test_deterministic_and_consistent(self, oahu_tiny_graph):
+        first = scan_tradeoffs(oahu_tiny_graph)
+        second = scan_tradeoffs(oahu_tiny_graph)
+        assert first.source == second.source
+        assert first.fronts == second.fronts
+        assert first.result.source == first.source
+        assert all(isinstance(f, TradeoffFront) for f in first.fronts)
+
+    def test_explicit_sources_restrict_the_scan(self, oahu_tiny_graph):
+        scan = scan_tradeoffs(oahu_tiny_graph, sources=[3], stop_after=10**9)
+        assert scan.source == 3
+
+    def test_empty_sources_raise(self, oahu_tiny_graph):
+        with pytest.raises(ValueError):
+            scan_tradeoffs(oahu_tiny_graph, sources=[])
+
+    def test_fronts_match_a_fresh_search(self, oahu_tiny_graph):
+        scan = scan_tradeoffs(oahu_tiny_graph)
+        fresh = mc_profile_search(
+            oahu_tiny_graph, scan.source, max_transfers=4
+        )
+        assert scan.fronts == tuple(
+            tradeoff_fronts(fresh, range(12), min_options=2)
+        )
+
+
+class TestTransferBoundedCounts:
+    def test_counts_match_profile_points(self, mc_result):
+        counts = transfer_bounded_counts(mc_result, 5, (0, 1, 2, 4))
+        for budget, count in counts.items():
+            points = mc_result.profile_points(5, budget)
+            assert count == sum(1 for p in points if p[1] < INF_TIME)
+
+    def test_counts_monotone_in_budget(self, mc_result):
+        """A larger transfer budget can only open connections up."""
+        for station in (0, 5, 9):
+            counts = transfer_bounded_counts(
+                mc_result, station, (0, 1, 2, 3, 4)
+            )
+            values = [counts[b] for b in (0, 1, 2, 3, 4)]
+            assert values == sorted(values)

@@ -449,6 +449,123 @@ class TestRemoteRoundTrip:
             harness.close()
 
 
+class TestShapeCommands:
+    """The query-zoo subcommands: multicriteria, via, min-transfers."""
+
+    def test_multicriteria_prints_the_front(self, capsys):
+        assert main([
+            "multicriteria", "--instance", "oahu", "--scale", "tiny",
+            "--source", "2", "--target", "5", "--departure", "480",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto option" in out
+        assert "transfer(s): arrive" in out
+
+    def test_via_prints_both_hops(self, capsys):
+        assert main([
+            "via", "--instance", "oahu", "--scale", "tiny",
+            "--source", "2", "--via", "5", "--target", "7",
+            "--departure", "480",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 → 5 → 7" in out
+        assert "at via" in out
+
+    def test_min_transfers_prints_the_budgeted_answer(self, capsys):
+        assert main([
+            "min-transfers", "--instance", "oahu", "--scale", "tiny",
+            "--source", "2", "--target", "5", "--departure", "480",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "transfer(s), arrive" in out
+
+    def test_from_store_matches_fresh_prepare(self, tmp_path, capsys):
+        path = tmp_path / "store"
+        assert main([
+            "prepare", "--instance", "oahu", "--scale", "tiny",
+            "--store", str(path), "--transfer-fraction", "0.3",
+        ]) == 0
+        capsys.readouterr()
+        argv_tail = [
+            "--source", "2", "--target", "5", "--departure", "480",
+        ]
+        for command in ("multicriteria", "min-transfers"):
+            assert main(
+                [command, "--from-store", str(path), *argv_tail]
+            ) == 0
+            warm = capsys.readouterr().out
+            assert main([
+                command, "--instance", "oahu", "--scale", "tiny",
+                "--transfer-fraction", "0.3", *argv_tail,
+            ]) == 0
+            cold = capsys.readouterr().out
+            warm_lines = [l for l in warm.splitlines() if "arrive" in l]
+            cold_lines = [l for l in cold.splitlines() if "arrive" in l]
+            assert warm_lines and warm_lines == cold_lines
+
+    def test_remote_matches_local(self, capsys):
+        """`multicriteria/via/min-transfers --remote` against a live
+        server print byte-identical answer lines to a local prepare
+        under the server's config."""
+        from repro.server import DatasetRegistry
+        from repro.service import ServiceConfig, TransitService
+        from repro.synthetic import make_instance
+        from tests.server.harness import ServerHarness
+
+        config = ServiceConfig(
+            num_threads=2, use_distance_table=True, transfer_fraction=0.25
+        )
+        service = TransitService(make_instance("oahu", "tiny"), config)
+        harness = ServerHarness(
+            DatasetRegistry.from_services({"oahu": service})
+        )
+        url = f"http://127.0.0.1:{harness.port}/oahu"
+        local_flags = [
+            "--instance", "oahu", "--scale", "tiny",
+            "--transfer-fraction", "0.25",
+        ]
+        cases = [
+            (["multicriteria", "--source", "2", "--target", "5",
+              "--departure", "480"]),
+            (["via", "--source", "2", "--via", "5", "--target", "7",
+              "--departure", "480"]),
+            (["min-transfers", "--source", "2", "--target", "5",
+              "--departure", "480"]),
+        ]
+        try:
+            for argv in cases:
+                assert main([argv[0], "--remote", url, *argv[1:]]) == 0
+                remote_out = capsys.readouterr().out
+                assert main([argv[0], *local_flags, *argv[1:]]) == 0
+                local_out = capsys.readouterr().out
+                remote_lines = [
+                    l for l in remote_out.splitlines() if "arrive" in l
+                ]
+                local_lines = [
+                    l for l in local_out.splitlines() if "arrive" in l
+                ]
+                assert remote_lines and remote_lines == local_lines
+        finally:
+            harness.close()
+
+    def test_remote_rejects_preparation_flags(self):
+        url = "http://127.0.0.1:9/oahu"
+        cases = [
+            (["multicriteria", "--remote", url, "--source", "0",
+              "--target", "5", "--departure", "480",
+              "--kernel", "python"], "--kernel"),
+            (["via", "--remote", url, "--source", "0", "--via", "2",
+              "--target", "5", "--departure", "480",
+              "--transfer-fraction", "0.1"], "--transfer-fraction"),
+            (["min-transfers", "--remote", url, "--source", "0",
+              "--target", "5", "--departure", "480",
+              "--scale", "tiny"], "--scale"),
+        ]
+        for argv, flag in cases:
+            with pytest.raises(SystemExit, match=f"{flag}.*--remote"):
+                main(argv)
+
+
 class TestServeParser:
     def test_serve_flags_parse(self):
         from repro.cli import build_parser
